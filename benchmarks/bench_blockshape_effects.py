@@ -1,0 +1,49 @@
+"""Block-shape effects on kernel performance (the paper's reference [9]).
+
+The paper leans on its companion study "Exploring the effect of block
+shapes on the performance of sparse kernels": for the *same* matrix, block
+shapes of equal element count can differ substantially, and vectorization
+changes the preference order (wider blocks amortise SIMD better, more so
+in single precision).  This bench reproduces the motif on a dense matrix,
+where padding plays no role and the effect is pure kernel behaviour.
+"""
+
+from repro.core.profiling import dense_coo
+from repro.formats import BCSRMatrix
+from repro.machine import CORE2_XEON, simulate
+
+
+def _times(precision, impl):
+    coo = dense_coo(1024)
+    shapes = [(1, 8), (8, 1), (2, 4), (4, 2), (1, 4), (4, 1)]
+    out = {}
+    for shape in shapes:
+        fmt = BCSRMatrix.from_coo(coo, shape, with_values=False)
+        out[shape] = simulate(fmt, CORE2_XEON, precision, impl).t_total
+    return out
+
+
+def test_shape_preferences_shift_with_simd(benchmark):
+    scalar_sp = benchmark.pedantic(
+        _times, args=("sp", "scalar"), rounds=1, iterations=1
+    )
+    simd_sp = _times("sp", "simd")
+    simd_dp = _times("dp", "simd")
+
+    print("\ndense 1024x1024, time per shape (ms):")
+    print(f"{'shape':>8s} {'sp scalar':>10s} {'sp simd':>10s} {'dp simd':>10s}")
+    for shape in scalar_sp:
+        print(
+            f"{str(shape):>8s} {scalar_sp[shape] * 1e3:10.3f} "
+            f"{simd_sp[shape] * 1e3:10.3f} {simd_dp[shape] * 1e3:10.3f}"
+        )
+
+    # Same element count, different shape, different time (scalar): the
+    # row-major 1x8 and column 8x1 kernels are not interchangeable.
+    assert scalar_sp[(1, 8)] != scalar_sp[(8, 1)]
+
+    # SIMD gains more in single precision (4 lanes) than double (2 lanes)
+    # on wide blocks — the mechanism behind Table II's precision shift.
+    sp_gain = scalar_sp[(1, 8)] / simd_sp[(1, 8)]
+    dp_gain = _times("dp", "scalar")[(1, 8)] / simd_dp[(1, 8)]
+    assert sp_gain > dp_gain

@@ -1,0 +1,20 @@
+"""Regenerate the Section V-B custom benchmark: CSR with zeroed col_ind.
+
+Paper-shape assertion: the latency-bound matrices (#12, #14, #15, #28)
+speed up substantially (the paper saw 2x-4x) once every input-vector access
+hits one cache line, proving they lose their time to x misses.
+"""
+
+from repro.bench.experiments import colind_zero
+
+
+def test_colind_zero_benchmark(benchmark):
+    result = benchmark.pedantic(colind_zero, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    speedups = [float(row[3].rstrip("x")) for row in result.rows]
+    assert len(speedups) == 4
+    # At least three of the four gain strongly; wikipedia-like graphs most.
+    assert sorted(speedups)[-3] > 1.3
+    assert max(speedups) > 2.0

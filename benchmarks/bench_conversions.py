@@ -1,0 +1,30 @@
+"""Conversion throughput: COO to each storage format (structure-only).
+
+The autotuning sweep converts every matrix into ~50 structures; the
+converters are fully vectorized and this bench tracks their cost.
+"""
+
+import pytest
+
+from repro.formats import build_format
+
+CONVERSIONS = [
+    ("csr", None),
+    ("bcsr", (2, 2)),
+    ("bcsr", (1, 8)),
+    ("bcsr_dec", (2, 2)),
+    ("bcsd", 4),
+    ("bcsd_dec", 4),
+    ("vbl", None),
+]
+
+
+@pytest.mark.parametrize("kind,block", CONVERSIONS,
+                         ids=[f"{k}-{b}" for k, b in CONVERSIONS])
+def test_conversion_throughput(benchmark, medium_fem, kind, block):
+    fmt = benchmark(
+        build_format, medium_fem, kind, block, with_values=False
+    )
+    mnnz_per_s = medium_fem.nnz / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["mnnz_per_s"] = round(mnnz_per_s, 1)
+    assert fmt.nnz == medium_fem.nnz

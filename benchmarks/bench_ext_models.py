@@ -1,0 +1,56 @@
+"""Extension benchmark: the latency-aware OVERLAP+LAT model (Sec. VI).
+
+Quantifies the paper's future-work direction: adding a calibrated
+memory-latency term to OVERLAP repairs its predictions on the
+latency-bound matrices while leaving the regular ones untouched.
+"""
+
+from statistics import mean
+
+from repro.bench.experiments import LATENCY_BOUND_IDS
+from repro.core import profile_machine
+from repro.core.models_ext import OverlapLatencyModel, estimate_format_misses
+from repro.core.models import OverlapModel
+from repro.formats import build_format
+from repro.machine import CORE2_XEON, simulate
+from repro.matrices.suite import SUITE
+
+
+def _errors_on(matrix_names, profile):
+    base_model, ext_model = OverlapModel(), OverlapLatencyModel()
+    base_err, ext_err = [], []
+    for entry in SUITE:
+        if entry.name not in matrix_names:
+            continue
+        coo = entry.build()
+        csr = build_format(coo, "csr", with_values=False)
+        real = simulate(csr, CORE2_XEON, "dp", "scalar").t_total
+        base = base_model.predict(csr, CORE2_XEON, "dp", "scalar", profile)
+        ext = ext_model.predict(csr, CORE2_XEON, "dp", "scalar", profile)
+        base_err.append(abs(base / real - 1))
+        ext_err.append(abs(ext / real - 1))
+    return mean(base_err), mean(ext_err)
+
+
+def test_overlap_lat_fixes_latency_matrices(benchmark):
+    profile = profile_machine(CORE2_XEON, "dp", calibrate_latency=True)
+    latency_names = {
+        e.name for e in SUITE if e.idx in LATENCY_BOUND_IDS
+    } | {"wb-edu"}
+
+    base_err, ext_err = benchmark.pedantic(
+        _errors_on, args=(latency_names, profile), rounds=1, iterations=1
+    )
+    print(
+        f"\nlatency-bound matrices (CSR, dp): mean |err| "
+        f"OVERLAP {base_err * 100:.1f}% -> OVERLAP+LAT {ext_err * 100:.1f}%"
+    )
+    assert ext_err < base_err / 2
+    assert ext_err < 0.25
+
+    reg_base, reg_ext = _errors_on({"audikw_1", "pwtk", "fdiff"}, profile)
+    print(
+        f"regular matrices: OVERLAP {reg_base * 100:.1f}% -> "
+        f"OVERLAP+LAT {reg_ext * 100:.1f}% (must not regress)"
+    )
+    assert reg_ext <= reg_base + 0.02

@@ -1,0 +1,20 @@
+"""Regenerate Fig. 2: win distribution across formats for 1, 2 and 4 cores.
+
+Paper-shape assertion: the picture matches the single-threaded one — BCSR
+keeps the most wins, with CSR and BCSD following — and memory-bandwidth
+saturation does not hand the suite back to CSR.
+"""
+
+from repro.bench.experiments import figure2
+
+
+def test_fig2_multicore_wins(benchmark, sweep):
+    result = benchmark(figure2, sweep)
+    print()
+    print(result.render())
+
+    for cfg, counts in result.wins.items():
+        total = sum(counts.values())
+        assert total == 28, cfg  # specials excluded
+        blocked = total - counts["csr"]
+        assert blocked >= counts["csr"], cfg

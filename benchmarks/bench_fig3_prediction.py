@@ -1,0 +1,50 @@
+"""Regenerate Fig. 3: predicted/measured execution time per matrix.
+
+Paper-shape assertions: MEM underpredicts (performance upper bound),
+MEMCOMP overpredicts (lower bound), OVERLAP tracks the measurement best and
+within ~10-15% on average; on the latency-bound matrices all models
+underpredict.
+"""
+
+from statistics import mean
+
+from repro.bench.experiments import LATENCY_BOUND_IDS, figure3
+
+
+def test_fig3_prediction_sp(benchmark, sweep):
+    result = benchmark(figure3, sweep, "sp")
+    print()
+    print(result.render())
+    _check(result)
+
+
+def test_fig3_prediction_dp(benchmark, sweep):
+    result = benchmark(figure3, sweep, "dp")
+    print()
+    print(result.render())
+    _check(result)
+
+
+def _check(result, latency_dips=True):
+    # Ordering of the mean error: OVERLAP best, MEMCOMP worst or close.
+    err = result.mean_abs_error
+    assert err["overlap"] < err["mem"]
+    assert err["overlap"] < err["memcomp"]
+    assert err["overlap"] < 0.20  # paper: ~10%
+
+    # MEM is a lower bound of time, MEMCOMP an upper bound, on average.
+    assert mean(result.normalized["mem"]) < 1.0
+    assert mean(result.normalized["memcomp"]) > 1.0
+
+    if not latency_dips:
+        return
+    # The latency-bound matrices defeat MEM and OVERLAP (ratios well
+    # below 1 — real time has a latency term no model includes).  The
+    # rail4284 stand-in is exempt: its x footprint is tiny, it falls short
+    # via loop overhead instead (see EXPERIMENTS.md).
+    for idx in LATENCY_BOUND_IDS:
+        if idx == 14:
+            continue
+        pos = result.matrix_ids.index(idx)
+        assert result.normalized["mem"][pos] < 0.9
+        assert result.normalized["overlap"][pos] < 0.95

@@ -1,0 +1,32 @@
+"""Regenerate Fig. 4: real performance of each model's selection.
+
+Paper-shape assertion: OVERLAP's selections sit near 1.0 for almost every
+matrix; the other models spike higher more often.
+"""
+
+from statistics import mean
+
+from repro.bench.experiments import figure4
+
+
+def test_fig4_selection_sp(benchmark, sweep):
+    result = benchmark(figure4, sweep, "sp")
+    print()
+    print(result.render())
+    _check(result)
+
+
+def test_fig4_selection_dp(benchmark, sweep):
+    result = benchmark(figure4, sweep, "dp")
+    print()
+    print(result.render())
+    _check(result)
+
+
+def _check(result):
+    overlap = mean(result.normalized["overlap"])
+    mem = mean(result.normalized["mem"])
+    memcomp = mean(result.normalized["memcomp"])
+    assert overlap <= mem + 1e-9
+    assert overlap <= memcomp + 1e-9
+    assert overlap < 1.06  # paper: within ~2% of the best on average

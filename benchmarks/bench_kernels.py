@@ -1,0 +1,35 @@
+"""Wall-clock SpMV throughput of the NumPy kernels, per storage format.
+
+These numbers time *this package's vectorized Python kernels on the host
+machine* — useful to compare kernel implementations against each other, but
+NOT representative of the compiled-C kernels the paper measures (see
+DESIGN.md: interpreter/NumPy dispatch overheads dominate, which is exactly
+why the reproduction's "measured" times come from the machine simulator).
+"""
+
+import pytest
+
+from repro.formats import build_format
+
+FORMATS = [
+    ("csr", None),
+    ("bcsr", (3, 3)),
+    ("bcsr", (1, 4)),
+    ("bcsr_dec", (3, 3)),
+    ("bcsd", 4),
+    ("bcsd_dec", 4),
+    ("vbl", None),
+    ("ubcsr", (3, 3)),
+    ("vbr", None),
+]
+
+
+@pytest.mark.parametrize("kind,block", FORMATS,
+                         ids=[f"{k}-{b}" for k, b in FORMATS])
+def test_spmv_wall_clock(benchmark, medium_fem, medium_x, kind, block):
+    fmt = build_format(medium_fem, kind, block)
+    out = benchmark(fmt.spmv, medium_x)
+    assert out.shape == (medium_fem.nrows,)
+    gflops = 2 * fmt.nnz / benchmark.stats["mean"] / 1e9
+    benchmark.extra_info["host_gflops"] = round(gflops, 3)
+    benchmark.extra_info["nnz"] = fmt.nnz

@@ -1,0 +1,52 @@
+"""Speed of the execution simulator and its cache model.
+
+One full autotuning pass simulates ~100 candidates x 2 precisions x 3
+thread counts per matrix; these benches track the per-call cost of the
+pieces that dominate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import build_format
+from repro.machine import simulate
+from repro.machine.cache import estimate_stream_misses
+
+
+@pytest.fixture(scope="module")
+def fem_csr(medium_fem):
+    return build_format(medium_fem, "csr", with_values=False)
+
+
+def test_simulate_cold(benchmark, medium_fem, machine):
+    """simulate() including the x-miss analysis (fresh structure each time)."""
+    def run():
+        fmt = build_format(medium_fem, "bcsr", (3, 3), with_values=False)
+        return simulate(fmt, machine, "dp", "scalar")
+
+    res = benchmark(run)
+    assert res.t_total > 0
+
+
+def test_simulate_warm(benchmark, fem_csr, machine):
+    """simulate() with the x-miss analysis memoised (the sweep's hot path)."""
+    simulate(fem_csr, machine, "dp", "scalar")  # warm the cache
+    res = benchmark(simulate, fem_csr, machine, "dp", "scalar")
+    assert res.t_total > 0
+
+
+def test_cache_estimator(benchmark):
+    rng = np.random.default_rng(0)
+    lines = rng.integers(0, 60_000, 1_500_000)
+    misses = benchmark(estimate_stream_misses, lines, 32_768)
+    assert misses > 0
+
+
+def test_profile_machine(benchmark, machine):
+    """Full t_b / nof calibration (cached per machine in real use)."""
+    from repro.core.profiling import profile_machine
+
+    profile = benchmark.pedantic(
+        profile_machine, args=(machine, "dp"), rounds=1, iterations=1
+    )
+    assert len(profile.t_b) == 53

@@ -1,0 +1,14 @@
+"""Regenerate Table I: the matrix suite with working sets.
+
+Benchmarks the suite generation itself (all 30 synthetic matrices) and
+prints the reproduced table next to the paper's published ws figures.
+"""
+
+from repro.bench.experiments import table1
+
+
+def test_table1_suite(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert len(result.rows) == 30

@@ -1,0 +1,25 @@
+"""Regenerate Table II: matrices won per format and configuration.
+
+Paper-shape assertions: BCSR takes the most matrices with CSR competitive;
+1D-VBL is marginal; the SIMD configurations shift wins further toward the
+fixed-size blocked formats.
+"""
+
+from repro.bench.experiments import table2
+
+
+def test_table2_wins(benchmark, sweep):
+    result = benchmark(table2, sweep)
+    print()
+    print(result.render())
+
+    for cfg, counts in result.wins.items():
+        blocked = sum(
+            v for k, v in counts.items()
+            if v is not None and k not in ("csr", "vbl")
+        )
+        # Blocking wins the majority of the suite in every configuration.
+        assert blocked >= counts["csr"], cfg
+    # 1D-VBL is marginal (the paper: one win across all configurations).
+    assert result.wins["dp"]["vbl"] <= 3
+    assert result.wins["sp"]["vbl"] <= 3

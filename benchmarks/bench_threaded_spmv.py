@@ -1,0 +1,27 @@
+"""Wall-clock scaling of the real multithreaded SpMV driver.
+
+Host-machine numbers (like bench_kernels.py, not architecture-
+representative); what they do verify is that the padding-aware row-block
+partitioning produces a correct, contention-free parallel SpMV whose
+per-call overhead stays bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import build_format
+from repro.parallel import ThreadedSpMV
+
+
+@pytest.fixture(scope="module")
+def fmt(medium_fem):
+    return build_format(medium_fem, "bcsr", (3, 3))
+
+
+@pytest.mark.parametrize("nthreads", [1, 2, 4])
+def test_threaded_spmv_wall_clock(benchmark, fmt, medium_x, nthreads):
+    mv = ThreadedSpMV(fmt, nthreads)
+    expected = fmt.spmv(medium_x)
+    out = benchmark(mv, medium_x)
+    np.testing.assert_allclose(out, expected, atol=1e-9)
+    benchmark.extra_info["nthreads"] = nthreads

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Solve a PDE system with CG on an autotuned storage format.
+
+The paper motivates SpMV through iterative solvers: this example builds a
+2D Poisson system with 3 unknowns per node, lets the OVERLAP model choose
+the storage format, runs Conjugate Gradient on it, and compares the
+simulated end-to-end solve time against plain CSR — the per-iteration
+format speedup compounds over every CG iteration.
+"""
+
+import numpy as np
+
+from repro import AutoTuner, CORE2_XEON, CSRMatrix, simulate
+from repro.matrices.generators import grid2d
+from repro.solvers import cg
+
+
+def make_spd_system(nx: int, ny: int, dof: int):
+    """A block Laplacian: SPD with dense dof x dof node blocks."""
+    stencil = grid2d(nx, ny, 5, dof=dof)
+    values = np.where(stencil.rows == stencil.cols, 4.0 * dof, -0.9)
+    coo = stencil.with_values(values)
+    rng = np.random.default_rng(5)
+    x_true = rng.standard_normal(coo.nrows)
+    b = coo.to_dense() @ x_true if coo.nrows <= 4000 else None
+    if b is None:
+        csr = CSRMatrix.from_coo(coo)
+        b = csr.spmv(x_true)
+    return coo, b, x_true
+
+
+def main() -> None:
+    coo, b, x_true = make_spd_system(110, 110, dof=3)  # ws > L2: the regime the models target
+    print(f"system: {coo.nrows:,} unknowns, {coo.nnz:,} nonzeros")
+
+    tuner = AutoTuner(CORE2_XEON)
+    choice = tuner.select(coo, precision="dp", model="overlap")
+    tuned = tuner.build(coo, choice.candidate)
+    csr = CSRMatrix.from_coo(coo)
+    print(f"OVERLAP selects {choice.candidate.label}")
+
+    res = cg(tuned, b, tol=1e-8, max_iter=4000)
+    assert res.converged
+    err = float(np.linalg.norm(res.x - x_true) / np.linalg.norm(x_true))
+    print(f"CG converged in {res.iterations} iterations "
+          f"({res.spmv_count} SpMVs), relative error {err:.2e}")
+
+    t_tuned = simulate(tuned, CORE2_XEON, "dp", choice.candidate.impl).t_total
+    t_csr = simulate(csr, CORE2_XEON, "dp", "scalar").t_total
+    print(
+        f"simulated solve time: {res.spmv_count * t_tuned * 1e3:.1f} ms "
+        f"({choice.candidate.label}) vs {res.spmv_count * t_csr * 1e3:.1f} ms "
+        f"(CSR) -> {t_csr / t_tuned:.2f}x per iteration"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Prediction accuracy of the three performance models (Fig. 3, in small).
+
+For three structurally different matrices — a blockable mesh, a uniformly
+random pattern and a latency-bound power-law graph — compare each model's
+prediction with the simulated "measured" time across the candidate space.
+
+The paper's finding reproduces: MEM gives a lower bound (it ignores
+compute), MEMCOMP an upper bound (it ignores overlap), OVERLAP tracks the
+measurement — except on the latency-bound graph, where every model
+underpredicts because none accounts for input-vector cache misses.
+"""
+
+from statistics import mean
+
+from repro import CORE2_XEON
+from repro.bench.report import render_table
+from repro.core import evaluate_candidates
+from repro.matrices import generators as g
+
+MATRICES = {
+    "mesh (blockable)": lambda: g.grid2d(110, 110, 9, dof=3,
+                                         drop_fraction=0.25, seed=1),
+    "random (padding-hostile)": lambda: g.random_uniform(
+        90_000, 90_000, 900_000, seed=2),
+    "power-law graph (latency-bound)": lambda: g.powerlaw_graph(
+        420_000, 2_000_000, alpha=1.7, seed=3),
+}
+
+
+def main() -> None:
+    rows = []
+    for label, build in MATRICES.items():
+        print(f"evaluating {label} ...")
+        coo = build()
+        results = evaluate_candidates(coo, CORE2_XEON, "dp")
+        cells = [label]
+        for model in ("mem", "memcomp", "overlap"):
+            ratios = [
+                r.predictions[model] / r.t_real
+                for r in results
+                if model in r.predictions and r.candidate.kind != "vbl"
+            ]
+            cells.append(f"{mean(ratios):.3f}")
+        rows.append(cells)
+    print()
+    print(render_table(
+        ["matrix", "MEM pred/real", "MEMCOMP pred/real", "OVERLAP pred/real"],
+        rows,
+        title="mean predicted/measured time over the candidate space (dp)",
+    ))
+    print(
+        "\nMEM < 1 (underpredicts), MEMCOMP > 1 (overpredicts), OVERLAP ~ 1;"
+        "\nall three fall below 1 on the latency-bound graph — the blind"
+        "\nspot the paper demonstrates with its col_ind-zeroing benchmark."
+    )
+
+
+if __name__ == "__main__":
+    main()

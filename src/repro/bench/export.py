@@ -1,0 +1,68 @@
+"""Export the regenerated figures as tab-separated data files.
+
+The harness renders figures as aligned text; for users who want the
+paper-style line plots, these writers dump each figure's series as TSV
+(one row per x value, one column per series) ready for gnuplot /
+matplotlib / a spreadsheet.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .experiments import figure2, figure3, figure4
+from .harness import SweepResult
+
+__all__ = ["export_figure_data", "write_tsv"]
+
+
+def write_tsv(path: Path, headers: list[str], rows: list[list]) -> None:
+    lines = ["\t".join(headers)]
+    lines += ["\t".join(str(c) for c in row) for row in rows]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def export_figure_data(
+    sweep: SweepResult, outdir: str | Path = "figures"
+) -> list[Path]:
+    """Write fig2/fig3/fig4 data files; returns the paths written."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    # Figure 2: win counts per configuration.
+    f2 = figure2(sweep)
+    kinds = sorted({k for counts in f2.wins.values() for k in counts})
+    rows = [
+        [cfg] + [f2.wins[cfg].get(k, 0) for k in kinds] for cfg in f2.wins
+    ]
+    path = outdir / "figure2_wins.tsv"
+    write_tsv(path, ["config"] + kinds, rows)
+    written.append(path)
+
+    # Figures 3 and 4, one file per precision.
+    for precision in ("sp", "dp"):
+        f3 = figure3(sweep, precision)
+        rows = [
+            [idx]
+            + [f"{f3.normalized[m][i]:.6f}" for m in ("mem", "memcomp", "overlap")]
+            for i, idx in enumerate(f3.matrix_ids)
+        ]
+        path = outdir / f"figure3_{precision}.tsv"
+        write_tsv(
+            path, ["matrix", "t_mem", "t_memcomp", "t_overlap"], rows
+        )
+        written.append(path)
+
+        f4 = figure4(sweep, precision)
+        rows = [
+            [idx]
+            + [f"{f4.normalized[m][i]:.6f}" for m in ("mem", "memcomp", "overlap")]
+            for i, idx in enumerate(f4.matrix_ids)
+        ]
+        path = outdir / f"figure4_{precision}.tsv"
+        write_tsv(
+            path, ["matrix", "t_mem", "t_memcomp", "t_overlap"], rows
+        )
+        written.append(path)
+    return written

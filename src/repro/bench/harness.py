@@ -1,0 +1,256 @@
+"""The sweep harness: run every candidate on every suite matrix and cache.
+
+One full sweep produces, for each (matrix, candidate, precision, threads):
+the simulated "measured" time with its breakdown, the format's working set
+and padding, and — for the single-threaded runs — the prediction of each
+performance model.  Every table and figure of the paper is a projection of
+this dataset, so it is computed once and cached as JSON under
+``.repro_cache/`` (keyed by a fingerprint of the configuration).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..core.candidates import Candidate, candidate_space
+from ..core.profiling import ProfileCache
+from ..core.selection import evaluate_candidates
+from ..machine.machine import MachineModel
+from ..machine.presets import get_preset
+from ..matrices.suite import SUITE, SuiteEntry
+from ..types import Impl, Precision
+
+__all__ = [
+    "SweepConfig",
+    "SweepRecord",
+    "MatrixSweep",
+    "SweepResult",
+    "run_sweep",
+    "load_or_run_sweep",
+    "DEFAULT_CACHE_DIR",
+]
+
+#: Bump when the simulator, the cost tables or the suite change meaningfully.
+SWEEP_VERSION = 9
+
+DEFAULT_CACHE_DIR = Path(".repro_cache")
+
+MODEL_NAMES = ("mem", "memcomp", "overlap")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Everything that determines a sweep's outcome."""
+
+    machine_name: str = "core2-xeon-2.66"
+    precisions: tuple[str, ...] = ("sp", "dp")
+    thread_counts: tuple[int, ...] = (1, 2, 4)
+    max_block_elems: int = 8
+    version: int = SWEEP_VERSION
+
+    def fingerprint(self) -> str:
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass
+class SweepRecord:
+    """One (candidate, precision, threads) data point on one matrix."""
+
+    kind: str
+    block: tuple[int, int] | int | None
+    impl: str
+    precision: str
+    nthreads: int
+    t_real: float
+    t_mem: float
+    t_comp: float
+    t_latency: float
+    ws_bytes: int
+    padding_ratio: float
+    n_blocks: int
+    predictions: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def candidate(self) -> Candidate:
+        block = tuple(self.block) if isinstance(self.block, list) else self.block
+        return Candidate(self.kind, block, Impl(self.impl))
+
+
+@dataclass
+class MatrixSweep:
+    """All data points for one suite matrix."""
+
+    idx: int
+    name: str
+    domain: str
+    geometry: bool
+    special: bool
+    nrows: int
+    ncols: int
+    nnz: int
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def select(
+        self,
+        precision: str | None = None,
+        nthreads: int | None = None,
+        impls: Sequence[str] | None = None,
+        kinds: Sequence[str] | None = None,
+    ) -> list[SweepRecord]:
+        """Filter records by precision / thread count / impl / kind."""
+        out = self.records
+        if precision is not None:
+            out = [r for r in out if r.precision == precision]
+        if nthreads is not None:
+            out = [r for r in out if r.nthreads == nthreads]
+        if impls is not None:
+            out = [r for r in out if r.impl in impls]
+        if kinds is not None:
+            out = [r for r in out if r.kind in kinds]
+        return out
+
+
+@dataclass
+class SweepResult:
+    """A full sweep over the suite."""
+
+    config: SweepConfig
+    matrices: list[MatrixSweep]
+    elapsed_s: float
+
+    def matrix(self, name_or_idx: str | int) -> MatrixSweep:
+        for m in self.matrices:
+            if m.name == name_or_idx or m.idx == name_or_idx:
+                return m
+        raise KeyError(f"no sweep data for matrix {name_or_idx!r}")
+
+    # -------------------------- persistence -------------------------- #
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "config": asdict(self.config),
+            "elapsed_s": self.elapsed_s,
+            "matrices": [asdict(m) for m in self.matrices],
+        }
+        path.write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepResult":
+        payload = json.loads(Path(path).read_text())
+        config = SweepConfig(**{
+            k: tuple(v) if isinstance(v, list) else v
+            for k, v in payload["config"].items()
+        })
+        matrices = []
+        for m in payload["matrices"]:
+            records = [
+                SweepRecord(**{
+                    **r,
+                    "block": tuple(r["block"])
+                    if isinstance(r["block"], list)
+                    else r["block"],
+                })
+                for r in m.pop("records")
+            ]
+            matrices.append(MatrixSweep(records=records, **m))
+        return cls(config=config, matrices=matrices,
+                   elapsed_s=payload["elapsed_s"])
+
+
+def run_sweep(
+    entries: Iterable[SuiteEntry] = SUITE,
+    config: SweepConfig = SweepConfig(),
+    *,
+    machine: MachineModel | None = None,
+    progress: bool = False,
+) -> SweepResult:
+    """Run the full sweep (no caching; see :func:`load_or_run_sweep`)."""
+    machine = machine if machine is not None else get_preset(config.machine_name)
+    profile_cache = ProfileCache()
+    candidates = candidate_space(max_block_elems=config.max_block_elems)
+    # The multicore experiment drops 1D-VBL, as the paper does ("we have
+    # chosen not to implement a multithreaded version of 1D-VBL").
+    mt_candidates = tuple(c for c in candidates if c.kind != "vbl")
+
+    t_start = time.perf_counter()
+    matrices: list[MatrixSweep] = []
+    for entry in entries:
+        t0 = time.perf_counter()
+        coo = entry.build()
+        sweep = MatrixSweep(
+            idx=entry.idx,
+            name=entry.name,
+            domain=entry.domain,
+            geometry=entry.geometry,
+            special=entry.special,
+            nrows=coo.nrows,
+            ncols=coo.ncols,
+            nnz=coo.nnz,
+        )
+        fmt_cache: dict = {}
+        for precision in config.precisions:
+            for nthreads in config.thread_counts:
+                single = nthreads == 1
+                results = evaluate_candidates(
+                    coo,
+                    machine,
+                    precision,
+                    candidates=candidates if single else mt_candidates,
+                    models=MODEL_NAMES if single else (),
+                    profile_cache=profile_cache,
+                    nthreads=nthreads,
+                    fmt_cache=fmt_cache,
+                )
+                for res in results:
+                    cand = res.candidate
+                    sweep.records.append(
+                        SweepRecord(
+                            kind=cand.kind,
+                            block=cand.block,
+                            impl=cand.impl.value,
+                            precision=Precision.coerce(precision).value,
+                            nthreads=nthreads,
+                            t_real=res.sim.t_total,
+                            t_mem=res.sim.t_mem,
+                            t_comp=res.sim.t_comp,
+                            t_latency=res.sim.t_latency,
+                            ws_bytes=res.ws_bytes,
+                            padding_ratio=res.padding_ratio,
+                            n_blocks=res.n_blocks,
+                            predictions=dict(res.predictions),
+                        )
+                    )
+        matrices.append(sweep)
+        if progress:
+            print(
+                f"[sweep] {entry.idx:2d} {entry.name:15s} "
+                f"({time.perf_counter() - t0:5.1f}s)",
+                flush=True,
+            )
+    return SweepResult(
+        config=config,
+        matrices=matrices,
+        elapsed_s=time.perf_counter() - t_start,
+    )
+
+
+def load_or_run_sweep(
+    config: SweepConfig = SweepConfig(),
+    *,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
+    progress: bool = False,
+) -> SweepResult:
+    """Return the cached sweep for ``config``, running it if absent."""
+    cache_path = Path(cache_dir) / f"sweep_{config.fingerprint()}.json"
+    if cache_path.exists():
+        return SweepResult.load(cache_path)
+    result = run_sweep(config=config, progress=progress)
+    result.save(cache_path)
+    return result

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper's deliverables are tables and line plots; in a terminal-first
+reproduction both become aligned text: tables render as boxed ASCII grids,
+figures as per-matrix value columns (one line per x-axis point), which is
+exactly the data a plotting script would consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "format_float"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Fixed-point rendering used across all tables."""
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    digits: int = 3,
+) -> str:
+    """Render several aligned numeric series against a shared x axis.
+
+    This is the textual form of a line plot: one row per x value, one
+    column per series.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [str(x)]
+        for name in series:
+            value = series[name][i]
+            row.append("-" if value is None else f"{value:.{digits}f}")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

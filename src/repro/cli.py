@@ -1,0 +1,115 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table1
+    python -m repro sweep --progress        # run & cache the full sweep
+    python -m repro table2 table3 fig2 fig3 fig4 table4 colind
+    python -m repro all                     # everything, in paper order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .bench import experiments
+from .bench.harness import SweepConfig, load_or_run_sweep
+
+__all__ = ["main"]
+
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table4",
+    "colind",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv",
+        description=(
+            "Reproduction of 'Performance Models for Blocked Sparse "
+            "Matrix-Vector Multiplication Kernels' (ICPP 2009)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=_EXPERIMENTS + ("sweep", "all"),
+        help="which tables/figures to regenerate",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        help="directory for the cached sweep results",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-matrix progress while sweeping",
+    )
+    return parser
+
+
+def _run_one(name: str, sweep) -> str:
+    if name == "table1":
+        return experiments.table1().render()
+    if name == "table2":
+        return experiments.table2(sweep).render()
+    if name == "table3":
+        return experiments.table3(sweep).render()
+    if name == "fig2":
+        return experiments.figure2(sweep).render()
+    if name == "fig3":
+        return "\n\n".join(
+            experiments.figure3(sweep, p).render() for p in ("sp", "dp")
+        )
+    if name == "fig4":
+        return "\n\n".join(
+            experiments.figure4(sweep, p).render() for p in ("sp", "dp")
+        )
+    if name == "table4":
+        return experiments.table4(sweep).render()
+    if name == "colind":
+        return experiments.colind_zero().render()
+    raise ValueError(name)  # pragma: no cover - argparse restricts choices
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    wanted = list(args.experiments)
+    if "all" in wanted:
+        wanted = list(_EXPERIMENTS)
+
+    needs_sweep = any(
+        e in ("table2", "table3", "fig2", "fig3", "fig4", "table4", "sweep")
+        for e in wanted
+    )
+    sweep = None
+    if needs_sweep:
+        sweep = load_or_run_sweep(
+            SweepConfig(), cache_dir=args.cache_dir, progress=args.progress
+        )
+        if "sweep" in wanted:
+            print(
+                f"sweep ready: {len(sweep.matrices)} matrices, "
+                f"{sum(len(m.records) for m in sweep.matrices)} records "
+                f"({sweep.elapsed_s:.0f}s)"
+            )
+            wanted = [e for e in wanted if e != "sweep"]
+
+    for name in wanted:
+        print(_run_one(name, sweep))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

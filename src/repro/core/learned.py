@@ -1,0 +1,272 @@
+"""Learned format selection (the paper's future work, Section VI).
+
+"Finally, we plan to develop more intelligent and adaptive performance
+models for the execution of sparse kernels based on machine learning."
+
+This module implements that direction with no external ML dependency:
+
+* :func:`extract_features` — cheap structural features of a sparse pattern
+  (the quantities Section III identifies as deciding blocked-SpMV
+  behaviour: row lengths, run lengths, per-shape block fill, diagonal
+  fill, input-vector footprint vs. cache);
+* :class:`DecisionTree` — a small CART classifier (Gini impurity, axis
+  splits) written from scratch;
+* :class:`LearnedSelector` — trains a tree on sweep data to predict the
+  winning *format kind* for a matrix, then delegates the block-shape and
+  implementation choice within that kind to the OVERLAP model.  The hybrid
+  mirrors production autotuners: learning prunes the search space, the
+  analytic model ranks inside it.
+
+``benchmarks/bench_learned_selection.py`` evaluates it leave-one-out over
+the 30-matrix suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ModelError
+from ..formats.blockstats import bcsd_block_stats, bcsr_block_stats
+from ..formats.coo import COOMatrix
+from ..machine.cache import x_budget_lines
+from ..machine.machine import MachineModel
+from ..types import Precision
+
+__all__ = [
+    "FEATURE_NAMES",
+    "extract_features",
+    "DecisionTree",
+    "LearnedSelector",
+]
+
+FEATURE_NAMES = (
+    "log_nnz_per_row",
+    "row_length_cv",
+    "mean_run_length",
+    "fill_1x2",
+    "fill_2x1",
+    "fill_2x2",
+    "fill_3x3",
+    "diag_fill_4",
+    "x_footprint_ratio",
+    "density_log10",
+)
+
+
+def extract_features(
+    coo: COOMatrix,
+    machine: MachineModel,
+    precision: Precision | str = Precision.DP,
+) -> np.ndarray:
+    """Structural feature vector of a sparse pattern (see FEATURE_NAMES)."""
+    precision = Precision.coerce(precision)
+    counts = coo.row_counts().astype(np.float64)
+    mean_row = counts.mean() if counts.size else 0.0
+    row_cv = counts.std() / mean_row if mean_row > 0 else 0.0
+
+    if coo.nnz:
+        starts = np.empty(coo.nnz, dtype=bool)
+        starts[0] = True
+        starts[1:] = (coo.rows[1:] != coo.rows[:-1]) | (
+            coo.cols[1:] != coo.cols[:-1] + 1
+        )
+        mean_run = coo.nnz / max(int(starts.sum()), 1)
+    else:
+        mean_run = 0.0
+
+    def fill(r: int, c: int) -> float:
+        stats = bcsr_block_stats(coo, r, c)
+        return stats.nnz / stats.nnz_stored if stats.n_blocks else 1.0
+
+    dstats = bcsd_block_stats(coo, 4)
+    diag_fill = dstats.nnz / dstats.nnz_stored if dstats.n_blocks else 1.0
+
+    budget_bytes = x_budget_lines(
+        machine.l2.size_bytes, machine.l2.line_bytes, machine.x_cache_fraction
+    ) * machine.l2.line_bytes
+    x_ratio = (coo.ncols * precision.itemsize) / budget_bytes
+    density = coo.nnz / max(coo.nrows * coo.ncols, 1)
+
+    return np.array([
+        np.log10(max(mean_row, 1e-3)),
+        row_cv,
+        mean_run,
+        fill(1, 2),
+        fill(2, 1),
+        fill(2, 2),
+        fill(3, 3),
+        diag_fill,
+        x_ratio,
+        np.log10(max(density, 1e-12)),
+    ])
+
+
+# --------------------------------------------------------------------- #
+# A small CART classifier
+# --------------------------------------------------------------------- #
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    label: object = None  # leaf payload
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+@dataclass
+class DecisionTree:
+    """CART classifier with Gini impurity and axis-aligned splits."""
+
+    max_depth: int = 4
+    min_samples_leaf: int = 1
+    _root: _Node | None = field(default=None, repr=False)
+    _classes: list = field(default_factory=list, repr=False)
+
+    def fit(self, X: np.ndarray, y: list) -> "DecisionTree":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != len(y):
+            raise ModelError("X must be 2-D with one row per label")
+        if X.shape[0] == 0:
+            raise ModelError("cannot fit on an empty dataset")
+        self._classes = sorted(set(y))
+        codes = np.array([self._classes.index(v) for v in y])
+        self._root = self._build(X, codes, depth=0)
+        return self
+
+    def predict(self, x: np.ndarray):
+        if self._root is None:
+            raise ModelError("tree is not fitted")
+        node = self._root
+        x = np.asarray(x, dtype=np.float64)
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node.label
+
+    # ------------------------------------------------------------------ #
+    def _build(self, X: np.ndarray, codes: np.ndarray, depth: int) -> _Node:
+        majority = self._classes[np.bincount(codes).argmax()]
+        if (
+            depth >= self.max_depth
+            or codes.shape[0] < 2 * self.min_samples_leaf
+            or np.unique(codes).shape[0] == 1
+        ):
+            return _Node(label=majority)
+        feature, threshold = self._best_split(X, codes)
+        if feature < 0:
+            return _Node(label=majority)
+        mask = X[:, feature] <= threshold
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(X[mask], codes[mask], depth + 1),
+            right=self._build(X[~mask], codes[~mask], depth + 1),
+        )
+
+    def _best_split(self, X: np.ndarray, codes: np.ndarray) -> tuple[int, float]:
+        n, d = X.shape
+        best = (-1, 0.0)
+        best_gini = _gini(codes)
+        for f in range(d):
+            values = np.unique(X[:, f])
+            if values.shape[0] < 2:
+                continue
+            midpoints = (values[1:] + values[:-1]) / 2
+            for t in midpoints:
+                mask = X[:, f] <= t
+                nl = int(mask.sum())
+                if nl < self.min_samples_leaf or n - nl < self.min_samples_leaf:
+                    continue
+                g = (
+                    nl * _gini(codes[mask]) + (n - nl) * _gini(codes[~mask])
+                ) / n
+                # Prefer strict improvements, but accept a tie when nothing
+                # improves: parity-style labelings (XOR) need a first cut
+                # that only pays off one level deeper.
+                if g < best_gini - 1e-12 or (
+                    best[0] == -1 and g <= best_gini + 1e-12
+                ):
+                    best_gini = g
+                    best = (f, float(t))
+        return best
+
+
+def _gini(codes: np.ndarray) -> float:
+    if codes.shape[0] == 0:
+        return 0.0
+    _, counts = np.unique(codes, return_counts=True)
+    p = counts / codes.shape[0]
+    return float(1.0 - (p * p).sum())
+
+
+# --------------------------------------------------------------------- #
+# The hybrid selector
+# --------------------------------------------------------------------- #
+class LearnedSelector:
+    """Tree-predicted format kind + OVERLAP-ranked block within it."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        *,
+        max_depth: int = 4,
+        min_samples_leaf: int = 2,
+    ) -> None:
+        self.machine = machine
+        self.tree = DecisionTree(
+            max_depth=max_depth, min_samples_leaf=min_samples_leaf
+        )
+        self._fitted = False
+
+    def fit(self, features: np.ndarray, winning_kinds: list[str]) -> "LearnedSelector":
+        """Train on (feature vector, winning format kind) pairs."""
+        self.tree.fit(features, winning_kinds)
+        self._fitted = True
+        return self
+
+    def predict_kind(self, coo: COOMatrix, precision: Precision | str = "dp") -> str:
+        if not self._fitted:
+            raise ModelError("selector is not fitted")
+        return self.tree.predict(
+            extract_features(coo, self.machine, precision)
+        )
+
+    def select(
+        self,
+        coo: COOMatrix,
+        precision: Precision | str = "dp",
+        *,
+        profile_cache=None,
+    ):
+        """Full selection: predicted kind, OVERLAP-ranked block within it.
+
+        Returns the winning :class:`~repro.core.selection.CandidateResult`.
+        """
+        from .candidates import candidate_space
+        from .selection import evaluate_candidates, select_with_model
+
+        kind = self.predict_kind(coo, precision)
+        pool = [
+            c for c in candidate_space() if c.kind == kind
+        ]
+        if not pool:
+            raise ModelError(f"no candidates of predicted kind {kind!r}")
+        results = evaluate_candidates(
+            coo,
+            self.machine,
+            precision,
+            candidates=pool,
+            models=("overlap",) if kind != "vbl" else ("mem",),
+            profile_cache=profile_cache,
+            run_simulation=False,
+        )
+        model = "overlap" if kind != "vbl" else "mem"
+        # select_with_model excludes vbl for fixed-size models; handle here.
+        if kind == "vbl":
+            return results[0]
+        return select_with_model(results, model)

@@ -1,0 +1,268 @@
+"""Profiling-based model calibration (paper Section IV).
+
+The MEMCOMP and OVERLAP models need two machine-specific inputs per
+(block type, implementation, precision):
+
+* ``t_b`` — the execution time of a *single block*, "obtained by profiling
+  the execution of a very small dense matrix, which is stored using every
+  blocking method and block under consideration and fits in the L1 cache of
+  the target machine";
+* ``nof`` — the non-overlapping factor of eq. (4), "obtained ... by
+  profiling a large dense matrix that exceeds the highest level of cache":
+
+      nof_b = (t_real_b - t_MEM) / (nb * t_b)
+
+Profiling here runs the execution simulator on exactly those two dense
+matrices.  The models therefore only ever observe the simulator through the
+same narrow aperture the paper's models observe real hardware through —
+two dense-matrix profiles — keeping prediction accuracy an honest result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import ProfileError
+from ..formats.base import SparseFormat
+from ..formats.bcsd import BCSDMatrix
+from ..formats.bcsr import BCSRMatrix
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..machine.executor import simulate
+from ..machine.machine import MachineModel
+from ..types import DEFAULT_MAX_BLOCK_ELEMS, Impl, Precision
+from .candidates import diag_sizes, rect_shapes
+
+__all__ = ["BlockProfile", "profile_machine", "ProfileCache", "dense_coo"]
+
+#: Row/column count of the small (in-L1) and large (out-of-L2) dense
+#: profiling matrices.  40x40 in CSR double precision is ~21 KiB (< 32 KiB
+#: L1); 1024x1024 is ~12-20 MiB (> 4 MiB L2).
+SMALL_DENSE_N = 40
+LARGE_DENSE_N = 1024
+
+
+def dense_coo(n: int) -> COOMatrix:
+    """A structure-only dense ``n x n`` pattern."""
+    idx = np.arange(n, dtype=np.int64)
+    rows = np.repeat(idx, n)
+    cols = np.tile(idx, n)
+    return COOMatrix(n, n, rows, cols, None, canonical=True)
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """Calibrated per-block times and non-overlapping factors.
+
+    Keyed by ``(block_descriptor, impl)`` where ``block_descriptor`` is the
+    format part's ``block_descriptor()`` value, e.g. ``("bcsr", (2, 3))``
+    or ``("csr", None)``.
+    """
+
+    machine_name: str
+    precision: Precision
+    t_b: dict[tuple, float] = field(default_factory=dict)
+    nof: dict[tuple, float] = field(default_factory=dict)
+    #: Calibrated seconds per unhidden input-vector miss (None unless the
+    #: profile was taken with ``calibrate_latency=True``); used by the
+    #: extended ``overlap+lat`` model (paper Section VI future work).
+    latency_cost_s: float | None = None
+
+    def key(self, part: SparseFormat, impl: Impl) -> tuple:
+        return (part.block_descriptor(), impl)
+
+    def block_time(self, part: SparseFormat, impl: Impl) -> float:
+        try:
+            return self.t_b[self.key(part, impl)]
+        except KeyError:
+            raise ProfileError(
+                f"no t_b profiled for {part.block_descriptor()} / {impl}"
+            ) from None
+
+    def nof_factor(self, part: SparseFormat, impl: Impl) -> float:
+        try:
+            return self.nof[self.key(part, impl)]
+        except KeyError:
+            raise ProfileError(
+                f"no nof profiled for {part.block_descriptor()} / {impl}"
+            ) from None
+
+
+def _profiled_builds(max_block_elems: int):
+    """(descriptor, impl, builder) triples covering the fixed-size space."""
+    builds = []
+    builds.append(
+        (
+            ("csr", None),
+            (Impl.SCALAR,),
+            lambda coo: CSRMatrix.from_coo(coo, with_values=False),
+        )
+    )
+    for shape in rect_shapes(max_block_elems):
+        builds.append(
+            (
+                ("bcsr", (shape.r, shape.c)),
+                (Impl.SCALAR, Impl.SIMD),
+                lambda coo, s=shape: BCSRMatrix.from_coo(
+                    coo, s, with_values=False
+                ),
+            )
+        )
+    for b in diag_sizes(max_block_elems):
+        builds.append(
+            (
+                ("bcsd", b),
+                (Impl.SCALAR, Impl.SIMD),
+                lambda coo, b=b: BCSDMatrix.from_coo(coo, b, with_values=False),
+            )
+        )
+    return builds
+
+
+def _dense_csr_ws(n: int, precision: Precision) -> int:
+    """Working set of an n x n dense matrix in CSR at ``precision``."""
+    e = precision.itemsize
+    return (e + 4) * n * n + 4 * (n + 1) + 2 * e * n
+
+
+def default_profile_sizes(
+    machine: MachineModel, precision: Precision
+) -> tuple[int, int]:
+    """Auto-size the two dense profiling matrices for ``machine``.
+
+    The small matrix must fit comfortably in L1 (the paper's t_b premise),
+    the large one must clearly exceed L2 (the nof premise).
+    """
+    small_n = SMALL_DENSE_N
+    while small_n > 4 and _dense_csr_ws(small_n, precision) > int(
+        machine.l1.size_bytes * 0.85
+    ):
+        small_n -= 4
+    large_n = LARGE_DENSE_N
+    while _dense_csr_ws(large_n, precision) < 3 * machine.l2.size_bytes:
+        large_n += 256
+    return small_n, large_n
+
+
+def profile_machine(
+    machine: MachineModel,
+    precision: Precision | str,
+    *,
+    max_block_elems: int = DEFAULT_MAX_BLOCK_ELEMS,
+    small_n: int | None = None,
+    large_n: int | None = None,
+    calibrate_latency: bool = False,
+) -> BlockProfile:
+    """Run the paper's two dense-matrix profiling passes on ``machine``.
+
+    With ``calibrate_latency=True`` a third pass measures a large uniformly
+    random matrix and attributes the residual over the OVERLAP prediction
+    to input-vector miss latency — the calibration the extended
+    ``overlap+lat`` model needs.
+    """
+    precision = Precision.coerce(precision)
+    auto_small, auto_large = default_profile_sizes(machine, precision)
+    small_n = auto_small if small_n is None else small_n
+    large_n = auto_large if large_n is None else large_n
+    small = dense_coo(small_n)
+    large = dense_coo(large_n)
+    profile = BlockProfile(machine_name=machine.name, precision=precision)
+
+    # Sanity of the methodology's premises (paper Section IV).
+    small_ws = CSRMatrix.from_coo(small, with_values=False).working_set(precision)
+    if small_ws > machine.l1.size_bytes:
+        raise ProfileError(
+            f"small dense profile ws ({small_ws} B) exceeds L1 "
+            f"({machine.l1.size_bytes} B); decrease small_n"
+        )
+    large_ws = CSRMatrix.from_coo(large, with_values=False).working_set(precision)
+    if large_ws <= machine.l2.size_bytes:
+        raise ProfileError(
+            f"large dense profile ws ({large_ws} B) does not exceed L2 "
+            f"({machine.l2.size_bytes} B); increase large_n"
+        )
+
+    for desc, impls, builder in _profiled_builds(max_block_elems):
+        fmt_small = builder(small)
+        fmt_large = builder(large)
+        ws_large = fmt_large.working_set(precision)
+        t_mem_large = ws_large / machine.memory_bandwidth(1)
+        for impl in impls:
+            t_small = simulate(fmt_small, machine, precision, impl).t_total
+            t_b = t_small / fmt_small.n_blocks
+            t_real_large = simulate(fmt_large, machine, precision, impl).t_total
+            nof = (t_real_large - t_mem_large) / (fmt_large.n_blocks * t_b)
+            key = (desc, impl)
+            profile.t_b[key] = t_b
+            profile.nof[key] = max(nof, 0.0)
+    if calibrate_latency:
+        profile = replace(
+            profile, latency_cost_s=_calibrate_latency(machine, precision, profile)
+        )
+    return profile
+
+
+def _calibrate_latency(
+    machine: MachineModel, precision: Precision, profile: BlockProfile
+) -> float:
+    """Seconds per unhidden x miss, from one random-matrix measurement.
+
+    Mirrors the nof methodology (eq. 4): measure a workload that isolates
+    the effect, subtract what the calibrated model already explains, and
+    normalise by the structural estimate of the effect's magnitude.
+    """
+    from ..machine.cache import estimate_stream_misses, x_budget_lines
+
+    rng = np.random.default_rng(20090701)
+    line_elems = machine.l2.line_bytes // precision.itemsize
+    budget = x_budget_lines(
+        machine.l2.size_bytes, machine.l2.line_bytes, machine.x_cache_fraction
+    )
+    n = 3 * budget * line_elems
+    nnz = 4 * n
+    coo = COOMatrix(n, n, rng.integers(0, n, nnz), rng.integers(0, n, nnz), None)
+    csr = CSRMatrix.from_coo(coo, with_values=False)
+
+    t_real = simulate(csr, machine, precision, Impl.SCALAR).t_total
+    # Inline OVERLAP prediction (eq. 3) for the CSR candidate.
+    key = (("csr", None), Impl.SCALAR)
+    predicted = csr.working_set(precision) / machine.memory_bandwidth(1) + (
+        profile.nof[key] * csr.n_blocks * profile.t_b[key]
+    )
+    misses = estimate_stream_misses(
+        csr.x_access_stream().line_ids(line_elems), budget
+    )
+    if misses <= 0:
+        raise ProfileError(
+            "latency calibration matrix produced no estimated misses; "
+            "the cache geometry makes the calibration ill-posed"
+        )
+    return max(t_real - predicted, 0.0) / misses
+
+
+class ProfileCache:
+    """Caches :func:`profile_machine` results per (machine, precision)."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, BlockProfile] = {}
+
+    def get(
+        self,
+        machine: MachineModel,
+        precision: Precision | str,
+        *,
+        calibrate_latency: bool = False,
+    ) -> BlockProfile:
+        precision = Precision.coerce(precision)
+        key = (id(machine), precision, calibrate_latency)
+        if key not in self._cache:
+            self._cache[key] = profile_machine(
+                machine, precision, calibrate_latency=calibrate_latency
+            )
+        return self._cache[key]
+
+
+#: Module-level default cache used by the selection helpers.
+DEFAULT_PROFILE_CACHE = ProfileCache()

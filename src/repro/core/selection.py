@@ -1,0 +1,261 @@
+"""Candidate evaluation and format selection (the paper's tuning loop).
+
+:func:`evaluate_candidates` converts a matrix into every candidate format
+(structure-only — no value arrays are materialised), asks each performance
+model for a prediction, and optionally runs the execution simulator for the
+"measured" time.  Conversions share the block-structure analysis between a
+padded format and its decomposed sibling, halving the dominant cost.
+
+:class:`AutoTuner` is the high-level public API: profile once, then select
+the best (format, block, implementation) for any matrix and build it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import ModelError
+from ..formats.base import SparseFormat
+from ..formats.bcsd import BCSDMatrix
+from ..formats.bcsr import BCSRMatrix
+from ..formats.blockstats import bcsd_block_stats, bcsr_block_stats
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..formats.decomposed import decompose_bcsd, decompose_bcsr
+from ..formats.vbl import VBLMatrix
+from ..machine.executor import SimResult, simulate
+from ..machine.machine import MachineModel
+from ..types import Impl, Precision
+from .candidates import Candidate, candidate_space
+from .models import MODELS, PerformanceModel
+from .profiling import DEFAULT_PROFILE_CACHE, BlockProfile, ProfileCache
+
+__all__ = [
+    "CandidateResult",
+    "StatsCache",
+    "build_candidate",
+    "evaluate_candidates",
+    "select_with_model",
+    "oracle_best",
+    "AutoTuner",
+]
+
+
+class StatsCache:
+    """Per-matrix cache of block-structure analyses, shared across kinds."""
+
+    def __init__(self, coo: COOMatrix) -> None:
+        self.coo = coo
+        self._rect: dict[tuple[int, int], object] = {}
+        self._diag: dict[int, object] = {}
+
+    def rect(self, r: int, c: int):
+        if (r, c) not in self._rect:
+            self._rect[(r, c)] = bcsr_block_stats(self.coo, r, c)
+        return self._rect[(r, c)]
+
+    def diag(self, b: int):
+        if b not in self._diag:
+            self._diag[b] = bcsd_block_stats(self.coo, b)
+        return self._diag[b]
+
+
+def build_candidate(
+    coo: COOMatrix,
+    candidate: Candidate,
+    *,
+    with_values: bool = False,
+    stats_cache: StatsCache | None = None,
+) -> SparseFormat:
+    """Convert ``coo`` to ``candidate``'s storage format."""
+    cache = stats_cache if stats_cache is not None else StatsCache(coo)
+    kind, block = candidate.kind, candidate.block
+    if kind == "csr":
+        return CSRMatrix.from_coo(coo, with_values=with_values)
+    if kind == "vbl":
+        return VBLMatrix.from_coo(coo, with_values=with_values)
+    if kind == "bcsr":
+        return BCSRMatrix.from_coo(
+            coo, block, with_values=with_values, stats=cache.rect(*block)
+        )
+    if kind == "bcsr_dec":
+        return decompose_bcsr(
+            coo, block, with_values=with_values, stats=cache.rect(*block)
+        )
+    if kind == "bcsd":
+        return BCSDMatrix.from_coo(
+            coo, block, with_values=with_values, stats=cache.diag(block)
+        )
+    if kind == "bcsd_dec":
+        return decompose_bcsd(
+            coo, block, with_values=with_values, stats=cache.diag(block)
+        )
+    raise ModelError(f"cannot build candidate kind {kind!r}")
+
+
+@dataclass
+class CandidateResult:
+    """Everything learnt about one candidate on one matrix."""
+
+    candidate: Candidate
+    ws_bytes: int
+    padding_ratio: float
+    n_blocks: int
+    predictions: dict[str, float] = field(default_factory=dict)
+    sim: SimResult | None = None
+
+    @property
+    def t_real(self) -> float:
+        if self.sim is None:
+            raise ModelError("candidate was evaluated without simulation")
+        return self.sim.t_total
+
+
+def evaluate_candidates(
+    coo: COOMatrix,
+    machine: MachineModel,
+    precision: Precision | str,
+    *,
+    candidates: Sequence[Candidate] | None = None,
+    models: Iterable[PerformanceModel | str] = ("mem", "memcomp", "overlap"),
+    profile: BlockProfile | None = None,
+    profile_cache: ProfileCache | None = None,
+    run_simulation: bool = True,
+    nthreads: int = 1,
+    fmt_cache: dict | None = None,
+) -> list[CandidateResult]:
+    """Evaluate every candidate on ``coo``: predictions and simulated time.
+
+    Models that do not cover a candidate (MEMCOMP/OVERLAP on 1D-VBL) simply
+    omit a prediction for it, as in the paper.
+
+    Pass a (caller-owned) ``fmt_cache`` dict to reuse the converted
+    structures — and their memoised cache-miss analyses — across repeated
+    calls for the same matrix (different precisions / thread counts).
+    """
+    precision = Precision.coerce(precision)
+    if candidates is None:
+        candidates = candidate_space()
+    model_objs = [m if isinstance(m, PerformanceModel) else MODELS[m] for m in models]
+    needs_profile = any(m.requires_profile for m in model_objs)
+    if profile is None and needs_profile:
+        cache = profile_cache if profile_cache is not None else DEFAULT_PROFILE_CACHE
+        profile = cache.get(machine, precision)
+
+    stats_cache = StatsCache(coo)
+    # Build each structure once and share it across scalar/SIMD candidates:
+    # the format object memoises its x-miss analysis.
+    if fmt_cache is None:
+        fmt_cache = {}
+    results: list[CandidateResult] = []
+    for cand in candidates:
+        fmt_key = (cand.kind, cand.block)
+        fmt = fmt_cache.get(fmt_key)
+        if fmt is None:
+            fmt = build_candidate(coo, cand, stats_cache=stats_cache)
+            fmt_cache[fmt_key] = fmt
+        res = CandidateResult(
+            candidate=cand,
+            ws_bytes=fmt.working_set(precision),
+            padding_ratio=fmt.padding_ratio,
+            n_blocks=fmt.n_blocks,
+        )
+        for model in model_objs:
+            try:
+                res.predictions[model.name] = model.predict(
+                    fmt, machine, precision, cand.impl, profile, nthreads
+                )
+            except ModelError:
+                continue  # model does not cover this candidate
+        if run_simulation:
+            res.sim = simulate(
+                fmt, machine, precision, cand.impl, nthreads
+            )
+        results.append(res)
+    return results
+
+
+def select_with_model(
+    results: Sequence[CandidateResult], model_name: str
+) -> CandidateResult:
+    """The candidate a model selects: its own minimum prediction.
+
+    As in the paper, the models tune over the *fixed-size* blocking space
+    only (Section IV: "we do not consider variable size blocking methods"),
+    and the MEM model — blind to kernel implementations — defaults to the
+    non-SIMD kernels.
+    """
+    from .candidates import FIXED_BLOCK_KINDS
+
+    model = MODELS[model_name]
+    pool = [
+        r
+        for r in results
+        if model_name in r.predictions and r.candidate.kind in FIXED_BLOCK_KINDS
+    ]
+    if not model.impl_aware:
+        pool = [r for r in pool if r.candidate.impl is Impl.SCALAR]
+    if not pool:
+        raise ModelError(f"model {model_name!r} covered no candidate")
+    return min(pool, key=lambda r: r.predictions[model_name])
+
+
+def oracle_best(results: Sequence[CandidateResult]) -> CandidateResult:
+    """The candidate with the best *simulated* (measured) time."""
+    pool = [r for r in results if r.sim is not None]
+    if not pool:
+        raise ModelError("no simulated results to take the oracle over")
+    return min(pool, key=lambda r: r.t_real)
+
+
+class AutoTuner:
+    """High-level selection API.
+
+    >>> tuner = AutoTuner(CORE2_XEON)
+    >>> choice = tuner.select(coo, precision="dp", model="overlap")
+    >>> fmt = tuner.build(coo, choice.candidate)   # with values, ready to spmv
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        *,
+        profile_cache: ProfileCache | None = None,
+    ) -> None:
+        self.machine = machine
+        self.profile_cache = (
+            profile_cache if profile_cache is not None else ProfileCache()
+        )
+
+    def profile(self, precision: Precision | str) -> BlockProfile:
+        """Calibrate (or fetch the cached) block profile."""
+        return self.profile_cache.get(self.machine, precision)
+
+    def select(
+        self,
+        coo: COOMatrix,
+        *,
+        precision: Precision | str = Precision.DP,
+        model: str = "overlap",
+        candidates: Sequence[Candidate] | None = None,
+        nthreads: int = 1,
+    ) -> CandidateResult:
+        """Pick the best candidate for ``coo`` according to ``model``."""
+        results = evaluate_candidates(
+            coo,
+            self.machine,
+            precision,
+            candidates=candidates,
+            models=(model,),
+            profile_cache=self.profile_cache,
+            run_simulation=False,
+            nthreads=nthreads,
+        )
+        return select_with_model(results, model)
+
+    def build(
+        self, coo: COOMatrix, candidate: Candidate
+    ) -> SparseFormat:
+        """Materialise the selected format with values, ready for spmv."""
+        return build_candidate(coo, candidate, with_values=True)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FormatError",
+    "ConversionError",
+    "ShapeMismatchError",
+    "ModelError",
+    "ProfileError",
+    "MatrixMarketError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class FormatError(ReproError):
+    """A sparse storage format is malformed or used incorrectly."""
+
+
+class ConversionError(FormatError):
+    """A conversion between storage formats failed."""
+
+
+class ShapeMismatchError(FormatError):
+    """Operand shapes are incompatible (e.g. SpMV with a wrong-sized x)."""
+
+
+class ModelError(ReproError):
+    """A performance model was asked something it cannot answer."""
+
+
+class ProfileError(ReproError):
+    """Machine profiling (t_b / nof calibration) failed."""
+
+
+class MatrixMarketError(ReproError):
+    """A Matrix Market file could not be parsed or written."""

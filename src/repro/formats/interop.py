@@ -1,0 +1,63 @@
+"""Interoperability with SciPy sparse matrices.
+
+The reproduction implements every storage format from scratch (the point is
+to own the byte-level layout the performance models reason about), but
+downstream users live in the SciPy ecosystem: these converters bridge the
+two worlds, so a ``scipy.sparse`` matrix can be autotuned and a tuned
+format can be handed back for further SciPy processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConversionError
+from .base import SparseFormat
+from .coo import COOMatrix
+
+__all__ = ["from_scipy", "to_scipy_coo", "to_scipy_csr"]
+
+
+def from_scipy(matrix) -> COOMatrix:
+    """Convert any ``scipy.sparse`` matrix (or array) to a COOMatrix."""
+    try:
+        coo = matrix.tocoo()
+    except AttributeError:
+        raise ConversionError(
+            f"expected a scipy.sparse matrix, got {type(matrix).__name__}"
+        ) from None
+    return COOMatrix(
+        int(coo.shape[0]),
+        int(coo.shape[1]),
+        np.asarray(coo.row, dtype=np.int64),
+        np.asarray(coo.col, dtype=np.int64),
+        np.asarray(coo.data, dtype=np.float64),
+    )
+
+
+def to_scipy_coo(fmt: SparseFormat):
+    """Convert any of this package's formats to ``scipy.sparse.coo_matrix``.
+
+    Goes through the format's own O(nnz) ``to_coo`` extraction; padding
+    zeros of the padded formats are dropped (SciPy stores true nonzeros
+    only), so the round trip is value-exact but not layout-exact.
+    """
+    from scipy import sparse
+
+    if not fmt.has_values:
+        raise ConversionError("structure-only formats carry no values")
+    coo = fmt.to_coo()
+    return sparse.coo_matrix(
+        (coo.values, (coo.rows, coo.cols)), shape=coo.shape
+    )
+
+
+def to_scipy_csr(coo: COOMatrix):
+    """Convert a COOMatrix to ``scipy.sparse.csr_matrix``."""
+    from scipy import sparse
+
+    if not coo.has_values:
+        raise ConversionError("structure-only COO carries no values")
+    return sparse.csr_matrix(
+        (coo.values, (coo.rows, coo.cols)), shape=coo.shape
+    )

@@ -1,0 +1,201 @@
+"""Binary serialization of converted formats (NumPy ``.npz`` containers).
+
+Converting a large matrix into a blocked format costs a full structural
+analysis; production autotuners cache the converted result.  These helpers
+save any of this package's formats to a single ``.npz`` file and load it
+back without re-running the converter.
+
+The on-disk layout is versioned and self-describing: a ``__meta__`` JSON
+blob (kind, shape, block parameters, nnz) plus one entry per index/value
+array.  Decomposed formats nest their parts with prefixed keys.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FormatError
+from ..types import BlockShape
+from .base import SparseFormat
+from .bcsd import BCSDMatrix
+from .bcsr import BCSRMatrix
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .csrdu import CSRDUMatrix
+from .decomposed import DecomposedMatrix
+from .ubcsr import UBCSRMatrix
+from .vbl import VBLMatrix
+from .vbr import VBRMatrix
+
+__all__ = ["save_format", "load_format"]
+
+_VERSION = 1
+
+
+def _collect(fmt: SparseFormat, prefix: str = "") -> tuple[dict, dict]:
+    """(meta, arrays) for one non-decomposed format."""
+    meta: dict = {"kind": fmt.kind, "nrows": fmt.nrows, "ncols": fmt.ncols,
+                  "nnz": fmt.nnz}
+    arrays: dict = {}
+
+    def put(name: str, arr) -> None:
+        if arr is not None:
+            arrays[prefix + name] = np.asarray(arr)
+            meta.setdefault("arrays", []).append(name)
+
+    if isinstance(fmt, COOMatrix):
+        put("rows", fmt.rows)
+        put("cols", fmt.cols)
+        put("values", fmt.values)
+    elif isinstance(fmt, CSRMatrix):
+        put("row_ptr", fmt.row_ptr)
+        put("col_ind", fmt.col_ind)
+        put("values", fmt.values)
+    elif isinstance(fmt, CSRDUMatrix):
+        put("ctl", fmt.ctl)
+        put("values", fmt.values)
+        put("unit_row", fmt.unit_row)
+        put("unit_val_offset", fmt.unit_val_offset)
+        put("unit_count", fmt.unit_count)
+        put("unit_base", fmt.unit_base)
+        put("unit_width", fmt.unit_width)
+        put("unit_delta_offset", fmt.unit_delta_offset)
+        put("deltas", fmt._deltas)
+    elif isinstance(fmt, BCSRMatrix):
+        meta["block"] = [fmt.block.r, fmt.block.c]
+        put("brow_ptr", fmt.brow_ptr)
+        put("bcol_ind", fmt.bcol_ind)
+        put("bval", fmt.bval)
+    elif isinstance(fmt, UBCSRMatrix):
+        meta["block"] = [fmt.block.r, fmt.block.c]
+        put("brow_ptr", fmt.brow_ptr)
+        put("bcol_start", fmt.bcol_start)
+        put("bval", fmt.bval)
+    elif isinstance(fmt, BCSDMatrix):
+        meta["b"] = fmt.b
+        put("brow_ptr", fmt.brow_ptr)
+        put("bcol_ind", fmt.bcol_ind)
+        put("bval", fmt.bval)
+    elif isinstance(fmt, VBLMatrix):
+        put("row_ptr", fmt.row_ptr)
+        put("bcol_ind", fmt.bcol_ind)
+        put("blk_size", fmt.blk_size)
+        put("block_row_ptr", fmt.block_row_ptr)
+        put("values", fmt.values)
+    elif isinstance(fmt, VBRMatrix):
+        put("rpntr", fmt.rpntr)
+        put("cpntr", fmt.cpntr)
+        put("bpntr", fmt.bpntr)
+        put("bindx", fmt.bindx)
+        put("indx", fmt.indx)
+        put("val", fmt.val)
+    else:
+        raise FormatError(f"cannot serialise format kind {fmt.kind!r}")
+    return meta, arrays
+
+
+def save_format(path: str | Path, fmt: SparseFormat) -> None:
+    """Save any format to a ``.npz`` file."""
+    arrays: dict = {}
+    if isinstance(fmt, DecomposedMatrix):
+        meta = {
+            "version": _VERSION,
+            "kind": fmt.kind,
+            "display_name": fmt.display_name,
+            "nrows": fmt.nrows,
+            "ncols": fmt.ncols,
+            "parts": [],
+        }
+        for i, part in enumerate(fmt.parts):
+            part_meta, part_arrays = _collect(part, prefix=f"p{i}_")
+            meta["parts"].append(part_meta)
+            arrays.update(part_arrays)
+    else:
+        meta, arrays = _collect(fmt)
+        meta["version"] = _VERSION
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def _rebuild(meta: dict, arrays: dict, prefix: str = "") -> SparseFormat:
+    kind = meta["kind"]
+    nrows, ncols, nnz = meta["nrows"], meta["ncols"], meta["nnz"]
+
+    def get(name: str):
+        return arrays.get(prefix + name)
+
+    if kind == "coo":
+        return COOMatrix(
+            nrows, ncols, get("rows"), get("cols"), get("values"),
+            canonical=True,
+        )
+    if kind == "csr":
+        return CSRMatrix(nrows, ncols, get("row_ptr"), get("col_ind"),
+                         get("values"))
+    if kind == "csr_du":
+        return CSRDUMatrix(
+            nrows, ncols, get("ctl"), get("values"),
+            unit_row=get("unit_row"),
+            unit_val_offset=get("unit_val_offset"),
+            unit_count=get("unit_count"),
+            unit_base=get("unit_base"),
+            unit_width=get("unit_width"),
+            unit_delta_offset=get("unit_delta_offset"),
+            deltas=get("deltas"),
+            nnz=nnz,
+        )
+    if kind == "bcsr":
+        return BCSRMatrix(
+            nrows, ncols, BlockShape(*meta["block"]), get("brow_ptr"),
+            get("bcol_ind"), get("bval"), nnz,
+        )
+    if kind == "ubcsr":
+        return UBCSRMatrix(
+            nrows, ncols, BlockShape(*meta["block"]), get("brow_ptr"),
+            get("bcol_start"), get("bval"), nnz,
+        )
+    if kind == "bcsd":
+        return BCSDMatrix(
+            nrows, ncols, meta["b"], get("brow_ptr"), get("bcol_ind"),
+            get("bval"), nnz,
+        )
+    if kind == "vbl":
+        return VBLMatrix(
+            nrows, ncols, get("row_ptr"), get("bcol_ind"), get("blk_size"),
+            get("block_row_ptr"), get("values"),
+        )
+    if kind == "vbr":
+        return VBRMatrix(
+            nrows, ncols, get("rpntr"), get("cpntr"), get("bpntr"),
+            get("bindx"), get("indx"), get("val"), nnz,
+        )
+    raise FormatError(f"cannot deserialise format kind {kind!r}")
+
+
+def load_format(path: str | Path) -> SparseFormat:
+    """Load a format saved by :func:`save_format`."""
+    with np.load(Path(path)) as data:
+        arrays = {k: data[k] for k in data.files}
+    try:
+        meta = json.loads(bytes(arrays.pop("__meta__")).decode())
+    except (KeyError, json.JSONDecodeError) as exc:
+        raise FormatError(f"{path} is not a repro format file") from None
+    if meta.get("version") != _VERSION:
+        raise FormatError(
+            f"unsupported format file version {meta.get('version')!r}"
+        )
+    if "parts" in meta:
+        parts = [
+            _rebuild(pm, arrays, prefix=f"p{i}_")
+            for i, pm in enumerate(meta["parts"])
+        ]
+        return DecomposedMatrix(
+            meta["nrows"], meta["ncols"], parts, meta["kind"],
+            meta["display_name"],
+        )
+    return _rebuild(meta, arrays)

@@ -1,0 +1,186 @@
+"""Unaligned BCSR (UBCSR) — column-unaligned fixed-size blocks.
+
+UBCSR (Vuduc & Moon; paper Section II-A) relaxes BCSR's alignment rule to
+reduce padding.  This implementation relaxes the *column* alignment: rows
+are still grouped into aligned bands of ``r`` (so ``brow_ptr`` keeps its
+meaning), but within a band each ``r x c`` block may start at any column.
+Blocks are placed greedily left-to-right: a new block is anchored at the
+left-most column not covered by the previous block.
+
+UBCSR is an extension beyond the five formats the paper evaluates; it is
+exercised by tests and examples, not by the main reproduction sweep, so the
+converter favours clarity (a per-band greedy scan using ``searchsorted``
+jumps) over raw conversion speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..types import INDEX_BYTES, BlockShape
+from .base import SparseFormat, XAccessStream
+from .coo import COOMatrix
+
+__all__ = ["UBCSRMatrix"]
+
+
+class UBCSRMatrix(SparseFormat):
+    """Fixed-size blocks, row-aligned but column-unaligned."""
+
+    kind = "ubcsr"
+    display_name = "UBCSR"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        block: BlockShape,
+        brow_ptr: np.ndarray,
+        bcol_start: np.ndarray,
+        bval: np.ndarray | None,
+        nnz: int,
+    ) -> None:
+        block = block if isinstance(block, BlockShape) else BlockShape(*block)
+        brow_ptr = np.asarray(brow_ptr, dtype=np.int64)
+        bcol_start = np.asarray(bcol_start, dtype=np.int64)
+        n_brows = -(-nrows // block.r) if nrows else 0
+        if brow_ptr.shape != (n_brows + 1,):
+            raise FormatError("brow_ptr has wrong length")
+        if brow_ptr[-1] != bcol_start.shape[0]:
+            raise FormatError("brow_ptr does not bracket bcol_start")
+        if bval is not None:
+            bval = np.asarray(bval)
+            if bval.shape != (bcol_start.shape[0], block.r, block.c):
+                raise FormatError("bval has wrong shape")
+        super().__init__(nrows, ncols, nnz)
+        self.block = block
+        self.brow_ptr = brow_ptr
+        self.bcol_start = bcol_start
+        self.bval = bval
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        block: BlockShape | tuple[int, int],
+        *,
+        with_values: bool = True,
+    ) -> "UBCSRMatrix":
+        block = block if isinstance(block, BlockShape) else BlockShape(*block)
+        r, c = block.r, block.c
+        n_brows = -(-coo.nrows // r) if coo.nrows else 0
+        brow = coo.rows // r
+        # Band boundaries in the canonical (row-major) nnz ordering.
+        band_ptr = np.zeros(n_brows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(brow, minlength=n_brows), out=band_ptr[1:])
+
+        anchors_per_band: list[np.ndarray] = []
+        block_of_nnz = np.empty(coo.nnz, dtype=np.int64)
+        next_block = 0
+        for band in range(n_brows):
+            lo, hi = int(band_ptr[band]), int(band_ptr[band + 1])
+            if lo == hi:
+                anchors_per_band.append(np.empty(0, dtype=np.int64))
+                continue
+            cols_sorted = np.sort(coo.cols[lo:hi])
+            anchors = []
+            idx = 0
+            while idx < cols_sorted.shape[0]:
+                anchor = int(cols_sorted[idx])
+                anchors.append(anchor)
+                idx = int(np.searchsorted(cols_sorted, anchor + c, side="left"))
+            anchors = np.asarray(anchors, dtype=np.int64)
+            anchors_per_band.append(anchors)
+            # Assign each nonzero of the band to its covering block.
+            assign = np.searchsorted(anchors, coo.cols[lo:hi], side="right") - 1
+            block_of_nnz[lo:hi] = next_block + assign
+            next_block += anchors.shape[0]
+
+        bcol_start = (
+            np.concatenate(anchors_per_band)
+            if anchors_per_band
+            else np.empty(0, dtype=np.int64)
+        )
+        counts = np.asarray([a.shape[0] for a in anchors_per_band], dtype=np.int64)
+        brow_ptr = np.zeros(n_brows + 1, dtype=np.int64)
+        np.cumsum(counts, out=brow_ptr[1:])
+
+        bval = None
+        if with_values and coo.values is not None:
+            nb = int(bcol_start.shape[0])
+            bval = np.zeros((nb, r, c), dtype=np.float64)
+            off_r = coo.rows - (coo.rows // r) * r
+            off_c = coo.cols - bcol_start[block_of_nnz]
+            bval[block_of_nnz, off_r, off_c] = coo.values
+        return cls(coo.nrows, coo.ncols, block, brow_ptr, bcol_start, bval, coo.nnz)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_blocks(self) -> int:
+        return int(self.bcol_start.shape[0])
+
+    @property
+    def nnz_stored(self) -> int:
+        return self.n_blocks * self.block.elems
+
+    def index_bytes(self) -> int:
+        return INDEX_BYTES * self.n_blocks + self._ptr_bytes(self.brow_ptr.shape[0])
+
+    @property
+    def n_block_rows(self) -> int:
+        return int(self.brow_ptr.shape[0] - 1)
+
+    def block_descriptor(self) -> tuple:
+        return ("ubcsr", (self.block.r, self.block.c))
+
+    def x_access_stream(self) -> XAccessStream:
+        return XAccessStream(self.bcol_start, self.block.c)
+
+    @property
+    def has_values(self) -> bool:
+        return self.bval is not None
+
+    def block_rows_of_blocks(self) -> np.ndarray:
+        return np.repeat(
+            np.arange(self.n_block_rows, dtype=np.int64), np.diff(self.brow_ptr)
+        )
+
+    # ------------------------------------------------------------------ #
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x, out = self._check_spmv_operands(x, out)
+        from ..kernels.bcsr_kernels import spmv_ubcsr
+
+        return spmv_ubcsr(self, x, out)
+
+    def to_coo(self) -> COOMatrix:
+        """Extract the true nonzeros (padding zeros are dropped)."""
+        if not self.has_values:
+            raise FormatError("structure-only UBCSR cannot be exported")
+        r, c = self.block.r, self.block.c
+        brows = self.block_rows_of_blocks()
+        rows = (
+            brows[:, None, None] * r
+            + np.arange(r, dtype=np.int64)[None, :, None]
+        ) + np.zeros((1, 1, c), dtype=np.int64)
+        cols = (
+            self.bcol_start[:, None, None]
+            + np.arange(c, dtype=np.int64)[None, None, :]
+        ) + np.zeros((1, r, 1), dtype=np.int64)
+        mask = (self.bval != 0) & (rows < self.nrows) & (cols < self.ncols)
+        return COOMatrix(
+            self.nrows, self.ncols, rows[mask], cols[mask], self.bval[mask]
+        )
+
+    def to_dense(self) -> np.ndarray:
+        if not self.has_values:
+            raise FormatError("structure-only UBCSR cannot be densified")
+        r, c = self.block.r, self.block.c
+        dense = np.zeros((self.n_block_rows * r, self.ncols + c), dtype=self.bval.dtype)
+        brows = self.block_rows_of_blocks()
+        for idx in range(self.n_blocks):
+            i0 = int(brows[idx]) * r
+            j0 = int(self.bcol_start[idx])
+            dense[i0 : i0 + r, j0 : j0 + c] += self.bval[idx]
+        return dense[: self.nrows, : self.ncols]

@@ -1,0 +1,231 @@
+"""Variable Block Row (VBR) storage — two-dimensional variable blocks.
+
+VBR (Saad's SPARSKIT; paper Section II-B) partitions the matrix rows and
+columns so that every resulting block is completely dense.  This
+implementation derives the canonical partition: maximal runs of consecutive
+rows with identical sparsity patterns, and likewise for columns.  Under that
+partition every (row-group x column-group) intersection is either fully
+populated or empty, so blocks store no padding at the cost of two extra
+indexing arrays (the row/column partition vectors).
+
+VBR is an extension beyond the five formats the paper benchmarks (the paper
+describes it in Section II and excludes it from the model evaluation); it is
+fully functional and tested but not part of the reproduction sweep.
+
+Arrays (SPARSKIT naming):
+
+* ``val``    — block values, blocks concatenated row-major,
+* ``indx``   — offset of each block's values in ``val`` (nb + 1),
+* ``bindx``  — block-column index of each block (nb),
+* ``rpntr``  — row partition boundaries (nbr + 1),
+* ``cpntr``  — column partition boundaries (nbc + 1),
+* ``bpntr``  — first block of each block row (nbr + 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..types import INDEX_BYTES
+from .base import SparseFormat, XAccessStream
+from .coo import COOMatrix
+
+__all__ = ["VBRMatrix", "pattern_partition"]
+
+
+def pattern_partition(ptr: np.ndarray, idx: np.ndarray, n: int) -> np.ndarray:
+    """Partition ``0..n`` into maximal runs with identical index patterns.
+
+    ``ptr``/``idx`` describe a CSR-like structure (rows here; pass the
+    transpose's structure for columns).  Returns the partition boundaries
+    (first element of each group plus ``n``), as in VBR's rpntr/cpntr.
+
+    Two rows are in the same group iff their index lists are identical; the
+    comparison is exact (lengths first, then element-wise on the packed
+    streams), not hash-based.
+    """
+    if n == 0:
+        return np.zeros(1, dtype=np.int64)
+    lengths = np.diff(ptr)
+    boundary = np.ones(n, dtype=bool)
+    same_len = lengths[1:] == lengths[:-1]
+    # Element-wise comparison of adjacent rows' index lists, vectorized over
+    # the packed idx stream: row i occupies idx[ptr[i]:ptr[i+1]].
+    if idx.shape[0]:
+        # For each row i >= 1 with same_len, compare idx slices.
+        cand = np.flatnonzero(same_len) + 1  # rows to compare with row-1
+        equal = np.zeros(cand.shape[0], dtype=bool)
+        for k, i in enumerate(cand):  # rows with equal lengths only
+            a, b = int(ptr[i]), int(ptr[i + 1])
+            pa = int(ptr[i - 1])
+            equal[k] = np.array_equal(idx[a:b], idx[pa : pa + (b - a)])
+        boundary[cand[equal]] = False
+    starts = np.flatnonzero(boundary)
+    return np.append(starts, n).astype(np.int64)
+
+
+class VBRMatrix(SparseFormat):
+    """Variable two-dimensional blocks, padding-free by construction."""
+
+    kind = "vbr"
+    display_name = "VBR"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        rpntr: np.ndarray,
+        cpntr: np.ndarray,
+        bpntr: np.ndarray,
+        bindx: np.ndarray,
+        indx: np.ndarray,
+        val: np.ndarray | None,
+        nnz: int,
+    ) -> None:
+        rpntr = np.asarray(rpntr, dtype=np.int64)
+        cpntr = np.asarray(cpntr, dtype=np.int64)
+        bpntr = np.asarray(bpntr, dtype=np.int64)
+        bindx = np.asarray(bindx, dtype=np.int64)
+        indx = np.asarray(indx, dtype=np.int64)
+        if rpntr[0] != 0 or rpntr[-1] != nrows:
+            raise FormatError("rpntr must span 0..nrows")
+        if cpntr[0] != 0 or cpntr[-1] != ncols:
+            raise FormatError("cpntr must span 0..ncols")
+        if bpntr.shape[0] != rpntr.shape[0]:
+            raise FormatError("bpntr must have one entry per block row + 1")
+        if indx.shape[0] != bindx.shape[0] + 1:
+            raise FormatError("indx must have nb + 1 entries")
+        if val is not None and val.shape[0] != indx[-1]:
+            raise FormatError("val length disagrees with indx")
+        super().__init__(nrows, ncols, nnz)
+        self.rpntr = rpntr
+        self.cpntr = cpntr
+        self.bpntr = bpntr
+        self.bindx = bindx
+        self.indx = indx
+        self.val = val
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, with_values: bool = True) -> "VBRMatrix":
+        from .csr import CSRMatrix
+
+        csr = CSRMatrix.from_coo(coo, with_values=False)
+        rpntr = pattern_partition(csr.row_ptr, csr.col_ind, coo.nrows)
+        # Column patterns from the transpose structure.
+        tcoo = COOMatrix(coo.ncols, coo.nrows, coo.cols, coo.rows, None)
+        tcsr = CSRMatrix.from_coo(tcoo, with_values=False)
+        cpntr = pattern_partition(tcsr.row_ptr, tcsr.col_ind, coo.ncols)
+
+        # Map each nonzero to its (block-row, block-col).
+        rg = np.searchsorted(rpntr, coo.rows, side="right") - 1
+        cg = np.searchsorted(cpntr, coo.cols, side="right") - 1
+        nbc = cpntr.shape[0] - 1
+        key = rg * np.int64(nbc) + cg
+        ukeys, inverse, counts = np.unique(
+            key, return_inverse=True, return_counts=True
+        )
+        urg = ukeys // nbc
+        ucg = ukeys - urg * nbc
+        heights = np.diff(rpntr)[urg]
+        widths = np.diff(cpntr)[ucg]
+        sizes = heights * widths
+        if np.any(counts != sizes):
+            raise FormatError(
+                "VBR partition produced non-dense blocks"
+            )  # pragma: no cover - construction guarantees density
+        indx = np.zeros(ukeys.shape[0] + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indx[1:])
+        nbr = rpntr.shape[0] - 1
+        bpntr = np.zeros(nbr + 1, dtype=np.int64)
+        np.cumsum(np.bincount(urg, minlength=nbr), out=bpntr[1:])
+
+        val = None
+        if with_values and coo.values is not None:
+            val = np.zeros(int(indx[-1]), dtype=np.float64)
+            # Position of each nnz inside its (row-major dense) block.
+            loc_r = coo.rows - rpntr[rg]
+            loc_c = coo.cols - cpntr[cg]
+            pos = indx[inverse] + loc_r * widths[inverse] + loc_c
+            val[pos] = coo.values
+        return cls(
+            coo.nrows, coo.ncols, rpntr, cpntr, bpntr, ucg, indx, val, coo.nnz
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_blocks(self) -> int:
+        return int(self.bindx.shape[0])
+
+    @property
+    def nnz_stored(self) -> int:
+        return int(self.indx[-1])
+
+    def index_bytes(self) -> int:
+        return INDEX_BYTES * (
+            self.bindx.shape[0]
+            + self.indx.shape[0]
+            + self.rpntr.shape[0]
+            + self.cpntr.shape[0]
+            + self.bpntr.shape[0]
+        )
+
+    @property
+    def n_block_rows(self) -> int:
+        return int(self.rpntr.shape[0] - 1)
+
+    def block_descriptor(self) -> tuple:
+        return ("vbr", None)
+
+    def x_access_stream(self) -> XAccessStream:
+        starts = self.cpntr[self.bindx]
+        widths = np.diff(self.cpntr)[self.bindx]
+        mean = int(widths.mean()) if self.n_blocks else 1
+        return XAccessStream(starts, max(mean, 1), widths=widths)
+
+    @property
+    def has_values(self) -> bool:
+        return self.val is not None
+
+    def block_rows_of_blocks(self) -> np.ndarray:
+        return np.repeat(
+            np.arange(self.n_block_rows, dtype=np.int64), np.diff(self.bpntr)
+        )
+
+    # ------------------------------------------------------------------ #
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x, out = self._check_spmv_operands(x, out)
+        from ..kernels.vbr_kernels import spmv_vbr
+
+        return spmv_vbr(self, x, out)
+
+    def to_coo(self) -> COOMatrix:
+        """Export the (dense-block) entries back to COO."""
+        if not self.has_values:
+            raise FormatError("structure-only VBR cannot be exported")
+        sizes = np.diff(self.indx)
+        block_of = np.repeat(np.arange(self.n_blocks, dtype=np.int64), sizes)
+        pos = np.arange(int(self.indx[-1]), dtype=np.int64) - self.indx[block_of]
+        widths = np.diff(self.cpntr)[self.bindx]
+        row0 = self.rpntr[self.block_rows_of_blocks()]
+        col0 = self.cpntr[self.bindx]
+        rows = row0[block_of] + pos // widths[block_of]
+        cols = col0[block_of] + pos % widths[block_of]
+        keep = self.val != 0
+        return COOMatrix(
+            self.nrows, self.ncols, rows[keep], cols[keep], self.val[keep]
+        )
+
+    def to_dense(self) -> np.ndarray:
+        if not self.has_values:
+            raise FormatError("structure-only VBR cannot be densified")
+        dense = np.zeros(self.shape, dtype=self.val.dtype)
+        brows = self.block_rows_of_blocks()
+        for k in range(self.n_blocks):
+            i0, i1 = int(self.rpntr[brows[k]]), int(self.rpntr[brows[k] + 1])
+            j0, j1 = int(self.cpntr[self.bindx[k]]), int(self.cpntr[self.bindx[k] + 1])
+            dense[i0:i1, j0:j1] = self.val[self.indx[k] : self.indx[k + 1]].reshape(
+                i1 - i0, j1 - j0
+            )
+        return dense

@@ -1,0 +1,39 @@
+"""CSR SpMV kernels.
+
+The vectorized kernel computes all element products in one pass and reduces
+them per row with ``np.add.reduceat`` — the NumPy idiom for segmented sums.
+Empty rows need care: ``reduceat`` repeats the segment value when
+consecutive offsets coincide, so rows are compacted to the non-empty subset
+first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+
+__all__ = ["spmv_csr", "spmv_csr_scalar"]
+
+
+def spmv_csr(csr: CSRMatrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Vectorized CSR SpMV, accumulating into ``out``."""
+    if csr.nnz == 0:
+        return out
+    products = csr.values * x[csr.col_ind]
+    lengths = np.diff(csr.row_ptr)
+    nonempty = np.flatnonzero(lengths)
+    starts = csr.row_ptr[nonempty]
+    sums = np.add.reduceat(products, starts)
+    out[nonempty] += sums
+    return out
+
+
+def spmv_csr_scalar(csr: CSRMatrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Textbook double-loop CSR SpMV (reference; small matrices only)."""
+    for i in range(csr.nrows):
+        acc = 0.0
+        for k in range(int(csr.row_ptr[i]), int(csr.row_ptr[i + 1])):
+            acc += csr.values[k] * x[csr.col_ind[k]]
+        out[i] += acc
+    return out

@@ -1,0 +1,28 @@
+"""Reference SpMV implementations used as test oracles.
+
+These are deliberately simple — a dense matmul and a plain per-element loop
+— so that every production kernel can be validated against an independent
+implementation.  Never use these for anything but small matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+
+__all__ = ["spmv_dense_reference", "spmv_coo_loop"]
+
+
+def spmv_dense_reference(coo: COOMatrix, x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` via full densification (oracle for small matrices)."""
+    return coo.to_dense() @ np.asarray(x)
+
+
+def spmv_coo_loop(coo: COOMatrix, x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` via an explicit per-element Python loop (oracle)."""
+    x = np.asarray(x)
+    y = np.zeros(coo.nrows, dtype=np.result_type(x.dtype, np.float64))
+    for i, j, v in zip(coo.rows, coo.cols, coo.values):
+        y[i] += v * x[j]
+    return y

@@ -1,0 +1,46 @@
+"""1D-VBL SpMV kernels.
+
+Blocks have variable lengths, so a single gather shape does not exist; the
+vectorized kernel bins blocks by length and runs one fully vectorized pass
+per distinct length (there are at most 255 of them, and real matrices have
+a handful).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.vbl import VBLMatrix
+
+__all__ = ["spmv_vbl", "spmv_vbl_scalar"]
+
+
+def spmv_vbl(vbl: VBLMatrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Vectorized (length-binned) 1D-VBL SpMV, accumulating into ``out``."""
+    if vbl.n_blocks == 0:
+        return out
+    rows = vbl.rows_of_blocks()
+    offs = vbl.value_offsets()
+    sizes = vbl.blk_size.astype(np.int64)
+    for size in np.unique(sizes):
+        sel = np.flatnonzero(sizes == size)
+        span = np.arange(size)
+        vals = vbl.values[offs[sel][:, None] + span]  # (k, size)
+        xg = x[vbl.bcol_ind[sel][:, None] + span]  # (k, size)
+        np.add.at(out, rows[sel], np.einsum("ks,ks->k", vals, xg))
+    return out
+
+
+def spmv_vbl_scalar(vbl: VBLMatrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Loop-per-block 1D-VBL SpMV (reference; small matrices only)."""
+    rows = vbl.rows_of_blocks()
+    offs = vbl.value_offsets()
+    for idx in range(vbl.n_blocks):
+        size = int(vbl.blk_size[idx])
+        j0 = int(vbl.bcol_ind[idx])
+        o = int(offs[idx])
+        acc = 0.0
+        for t in range(size):
+            acc += vbl.values[o + t] * x[j0 + t]
+        out[rows[idx]] += acc
+    return out

@@ -1,0 +1,37 @@
+"""VBR SpMV kernel.
+
+Blocks are dense tiles of varying shapes; the kernel bins blocks by
+(height, width) and runs one vectorized einsum pass per shape group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.vbr import VBRMatrix
+
+__all__ = ["spmv_vbr"]
+
+
+def spmv_vbr(vbr: VBRMatrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Shape-binned vectorized VBR SpMV, accumulating into ``out``."""
+    if vbr.n_blocks == 0:
+        return out
+    brows = vbr.block_rows_of_blocks()
+    heights = np.diff(vbr.rpntr)[brows]
+    widths = np.diff(vbr.cpntr)[vbr.bindx]
+    row_starts = vbr.rpntr[brows]
+    col_starts = vbr.cpntr[vbr.bindx]
+    shape_key = heights * np.int64(1 << 32) + widths
+    for key in np.unique(shape_key):
+        h = int(key >> 32)
+        w = int(key & 0xFFFFFFFF)
+        sel = np.flatnonzero(shape_key == key)
+        vals = vbr.val[
+            vbr.indx[sel][:, None] + np.arange(h * w)
+        ].reshape(-1, h, w)
+        xg = x[col_starts[sel][:, None] + np.arange(w)]
+        partial = np.einsum("khw,kw->kh", vals, xg)  # (k, h)
+        targets = row_starts[sel][:, None] + np.arange(h)
+        np.add.at(out, targets.reshape(-1), partial.reshape(-1))
+    return out

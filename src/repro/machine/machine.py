@@ -1,0 +1,143 @@
+"""The machine description consumed by the execution simulator.
+
+A :class:`MachineModel` bundles everything the simulator knows about the
+hardware: the cache hierarchy with residency-dependent streaming bandwidth,
+the memory bandwidth saturation curve across cores, the latency of a cache
+miss that hardware prefetching failed to hide, the fraction of kernel
+compute that cannot overlap with memory transfers, and the per-kernel cost
+tables of :class:`~repro.machine.costs.KernelCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..errors import ModelError
+from ..types import Impl
+from .costs import KernelCostModel
+
+__all__ = ["CacheLevel", "MachineModel"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy."""
+
+    size_bytes: int
+    line_bytes: int
+    #: Sustainable streaming bandwidth when the working set is resident.
+    bandwidth_bps: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ModelError("cache sizes must be positive")
+        if self.bandwidth_bps <= 0:
+            raise ModelError("cache bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A complete analytic description of the simulated platform."""
+
+    name: str
+    clock_hz: float
+    l1: CacheLevel
+    l2: CacheLevel
+    #: Aggregate main-memory streaming bandwidth per active core count.
+    #: Missing counts fall back to the largest configured count (saturation).
+    mem_bandwidth_bps: Mapping[int, float]
+    #: Full cost of one unprefetched main-memory access.
+    mem_latency_s: float
+    #: Fraction of miss latency hidden by out-of-order overlap of misses.
+    latency_hide: float
+    #: Fraction of kernel compute that cannot overlap with memory transfers
+    #: (dependency stalls, address generation), per implementation.
+    eta_exposed: Mapping[Impl, float]
+    #: Fraction of the L2 available for input-vector reuse while the matrix
+    #: streams through the cache.
+    x_cache_fraction: float
+    #: Peak fraction of streaming efficiency a decomposed method loses to
+    #: its multiple passes ("no temporal or spatial locality between the
+    #: different k SpMV operations" — paper Section III).  Scaled by how
+    #: balanced the decomposition is: a degenerate split (one pass holds
+    #: nearly everything) interleaves almost nothing and loses almost
+    #: nothing.
+    dec_overlap_loss: float = 0.04
+    costs: KernelCostModel = field(default_factory=KernelCostModel)
+    max_threads: int = 4
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ModelError("clock must be positive")
+        if not self.mem_bandwidth_bps:
+            raise ModelError("mem_bandwidth_bps must define at least 1 thread")
+        if not 0.0 <= self.latency_hide <= 1.0:
+            raise ModelError("latency_hide must be in [0, 1]")
+        for impl in (Impl.SCALAR, Impl.SIMD):
+            eta = self.eta_exposed.get(impl)
+            if eta is None or not 0.0 <= eta <= 1.0:
+                raise ModelError(f"eta_exposed[{impl}] must be in [0, 1]")
+        if not 0.0 < self.x_cache_fraction <= 1.0:
+            raise ModelError("x_cache_fraction must be in (0, 1]")
+        if not 0.0 <= self.dec_overlap_loss < 1.0:
+            raise ModelError("dec_overlap_loss must be in [0, 1)")
+
+    # ------------------------------------------------------------------ #
+    def memory_bandwidth(self, nthreads: int = 1) -> float:
+        """Aggregate main-memory bandwidth with ``nthreads`` active cores."""
+        if nthreads < 1:
+            raise ModelError("nthreads must be >= 1")
+        table = self.mem_bandwidth_bps
+        if nthreads in table:
+            return table[nthreads]
+        # Saturation: fall back to the largest configured count below, or
+        # the overall maximum for oversubscription.
+        below = [k for k in table if k <= nthreads]
+        key = max(below) if below else max(table)
+        return table[key]
+
+    def stream_bandwidth(self, ws_bytes: int, nthreads: int = 1) -> float:
+        """Streaming bandwidth for a working set of ``ws_bytes``.
+
+        Warm steady state: a working set resident in L1/L2 streams at that
+        cache's bandwidth instead of main memory's.  This is what makes the
+        paper's profiling methodology work — the small dense profiling
+        matrix "fits in the L1 cache", so its t_mem is negligible and the
+        measured time is (almost) pure compute.
+        """
+        if ws_bytes <= self.l1.size_bytes:
+            return self.l1.bandwidth_bps
+        if ws_bytes <= self.l2.size_bytes:
+            return self.l2.bandwidth_bps
+        return self.memory_bandwidth(nthreads)
+
+    def decomposition_mem_factor(self, ws_shares: "list[float]") -> float:
+        """Streaming slowdown of a k-pass decomposed SpMV.
+
+        ``ws_shares`` are the per-pass fractions of the total working set.
+        The loss peaks for balanced splits; even a lopsided decomposition
+        pays a small floor (streams restart, x/y are re-walked between passes).
+        """
+        k = len(ws_shares)
+        if k <= 1:
+            return 1.0
+        concentration = sum(s * s for s in ws_shares)
+        balance = (1.0 - concentration) / (1.0 - 1.0 / k)
+        balance = max(min(balance, 1.0), 0.0)
+        return 1.0 + self.dec_overlap_loss * (0.15 + 0.85 * balance)
+
+    def effective_latency_s(self) -> float:
+        """Latency charged per unhidden input-vector miss."""
+        return self.mem_latency_s * (1.0 - self.latency_hide)
+
+    def eta(self, impl: Impl | str) -> float:
+        return self.eta_exposed[Impl.coerce(impl)]
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **kwargs) -> "MachineModel":
+        """A copy with some fields replaced (ablation studies)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,67 @@
+"""Machine presets.
+
+:data:`CORE2_XEON` models the paper's testbed: a dual Intel Core 2 Duo Xeon
+at 2.66 GHz — two chips, two cores each, 32 KiB L1D per core, a 4 MiB L2
+shared by the two cores of a chip, hardware prefetching on, and 3.36 GiB/s
+of STREAM bandwidth.  Single-core streaming cannot quite saturate the FSB;
+two cores do, and four cores gain almost nothing — which is what makes the
+multicore experiment (Fig. 2) shift wins further toward the blocked
+formats.
+
+:data:`GENERIC_MODERN` is a present-day commodity part for the examples:
+more bandwidth, bigger last-level cache, 256-bit SIMD.
+"""
+
+from __future__ import annotations
+
+from ..types import Impl
+from .costs import KernelCostModel
+from .machine import CacheLevel, MachineModel
+
+__all__ = ["CORE2_XEON", "GENERIC_MODERN", "PRESETS", "get_preset"]
+
+_GiB = 1024**3
+
+CORE2_XEON = MachineModel(
+    name="core2-xeon-2.66",
+    clock_hz=2.66e9,
+    l1=CacheLevel(size_bytes=32 * 1024, line_bytes=64, bandwidth_bps=35e9),
+    l2=CacheLevel(size_bytes=4 * 1024 * 1024, line_bytes=64, bandwidth_bps=12e9),
+    mem_bandwidth_bps={
+        1: 3.36 * _GiB,  # STREAM figure the paper quotes
+        2: 3.80 * _GiB,  # FSB nearly saturated
+        4: 3.95 * _GiB,  # saturation
+    },
+    mem_latency_s=95e-9,
+    latency_hide=0.62,
+    eta_exposed={Impl.SCALAR: 0.35, Impl.SIMD: 0.30},
+    x_cache_fraction=0.5,
+    costs=KernelCostModel(),
+    max_threads=4,
+)
+
+GENERIC_MODERN = MachineModel(
+    name="generic-modern",
+    clock_hz=3.5e9,
+    l1=CacheLevel(size_bytes=48 * 1024, line_bytes=64, bandwidth_bps=180e9),
+    l2=CacheLevel(size_bytes=32 * 1024 * 1024, line_bytes=64, bandwidth_bps=60e9),
+    mem_bandwidth_bps={1: 20 * _GiB, 2: 32 * _GiB, 4: 42 * _GiB, 8: 46 * _GiB},
+    mem_latency_s=70e-9,
+    latency_hide=0.75,
+    eta_exposed={Impl.SCALAR: 0.30, Impl.SIMD: 0.25},
+    x_cache_fraction=0.5,
+    costs=KernelCostModel(simd_bytes=32),
+    max_threads=8,
+)
+
+PRESETS = {m.name: m for m in (CORE2_XEON, GENERIC_MODERN)}
+
+
+def get_preset(name: str) -> MachineModel:
+    """Look up a preset machine by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

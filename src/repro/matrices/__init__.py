@@ -1,0 +1,22 @@
+"""Matrix substrate: synthetic generators, the Table I suite, structural
+statistics and Matrix Market I/O."""
+
+from . import generators
+from .mmio import read_matrix_market, write_matrix_market
+from .stats import MatrixStats, analyze, block_fill, diag_fill, run_lengths
+from .suite import SUITE, SuiteEntry, entry_names, get_entry
+
+__all__ = [
+    "generators",
+    "SUITE",
+    "SuiteEntry",
+    "get_entry",
+    "entry_names",
+    "MatrixStats",
+    "analyze",
+    "block_fill",
+    "diag_fill",
+    "run_lengths",
+    "read_matrix_market",
+    "write_matrix_market",
+]

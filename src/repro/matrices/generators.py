@@ -1,0 +1,436 @@
+"""Synthetic sparse-pattern generators.
+
+Each function returns a structure-only :class:`~repro.formats.COOMatrix`
+reproducing the *structural class* of one family of matrices from the
+paper's suite (Table I): what matters to blocked SpMV is blockability,
+padding behaviour, row-length distribution and column-access regularity —
+not the numeric values.  See DESIGN.md ("Substitutions") for the mapping
+and :mod:`repro.matrices.suite` for the 30 concrete instantiations.
+
+All generators are deterministic given their ``seed`` and fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..formats.coo import COOMatrix
+
+__all__ = [
+    "dense",
+    "banded_random",
+    "random_uniform",
+    "grid2d",
+    "grid3d",
+    "powerlaw_graph",
+    "circuit",
+    "linear_programming",
+    "clustered_rows",
+    "diagonal_pattern",
+    "shuffled",
+    "partially_shuffled",
+    "expand_dof",
+    "random_values",
+]
+
+
+def dense(n: int, m: int | None = None) -> COOMatrix:
+    """A fully dense ``n x m`` pattern (the suite's special matrix #1)."""
+    m = n if m is None else m
+    rows = np.repeat(np.arange(n, dtype=np.int64), m)
+    cols = np.tile(np.arange(m, dtype=np.int64), n)
+    return COOMatrix(n, m, rows, cols, None, canonical=True)
+
+
+def random_uniform(n: int, m: int, nnz: int, seed: int = 0) -> COOMatrix:
+    """Uniformly random positions (special matrix #2).
+
+    Duplicates are merged by canonicalisation, so the result holds *up to*
+    ``nnz`` entries; a 2 % oversample keeps the shortfall negligible.
+    """
+    rng = np.random.default_rng(seed)
+    k = int(nnz * 1.02)
+    rows = rng.integers(0, n, k)
+    cols = rng.integers(0, m, k)
+    coo = COOMatrix(n, m, rows, cols, None)
+    if coo.nnz > nnz:
+        keep = rng.choice(coo.nnz, size=nnz, replace=False)
+        keep.sort()
+        coo = COOMatrix(n, m, coo.rows[keep], coo.cols[keep], None, canonical=True)
+    return coo
+
+
+# --------------------------------------------------------------------- #
+# Mesh / stencil generators (matrices with an underlying 2D/3D geometry)
+# --------------------------------------------------------------------- #
+_STENCILS_2D = {
+    5: [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)],
+    9: [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)],
+}
+
+_STENCILS_3D = {
+    7: [(0, 0, 0), (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)],
+    27: [
+        (dx, dy, dz)
+        for dx in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        for dz in (-1, 0, 1)
+    ],
+}
+
+
+def grid2d(
+    nx: int,
+    ny: int,
+    stencil: int = 5,
+    dof: int = 1,
+    drop_fraction: float = 0.0,
+    seed: int = 0,
+) -> COOMatrix:
+    """A 2D structured grid with a 5- or 9-point stencil.
+
+    With ``dof > 1`` every grid node carries ``dof`` unknowns, producing the
+    fully dense ``dof x dof`` node blocks typical of FEM structural
+    matrices — the structure BCSR exploits.
+
+    ``drop_fraction`` removes that share of the off-diagonal node couplings
+    (symmetrically), emulating the irregular adjacency of an unstructured
+    mesh: node blocks stay dense, but neighbouring blocks are no longer
+    guaranteed, so wider-than-a-node BCSR blocks pay padding and the
+    decomposed variants grow a real CSR remainder.
+    """
+    rows, cols = _stencil_nodes(_STENCILS_2D, stencil, (nx, ny))
+    rows, cols = _drop_couplings(rows, cols, drop_fraction, seed)
+    rows, cols = expand_dof(rows, cols, dof)
+    return COOMatrix(nx * ny * dof, nx * ny * dof, rows, cols, None)
+
+
+def grid3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    stencil: int = 7,
+    dof: int = 1,
+    drop_fraction: float = 0.0,
+    seed: int = 0,
+) -> COOMatrix:
+    """A 3D structured grid with a 7- or 27-point stencil.
+
+    The 7-point pattern (``fdiff``-style) is a union of perfect matrix
+    diagonals — the structure BCSD exploits.  ``drop_fraction`` works as in
+    :func:`grid2d`.
+    """
+    rows, cols = _stencil_nodes(_STENCILS_3D, stencil, (nx, ny, nz))
+    rows, cols = _drop_couplings(rows, cols, drop_fraction, seed)
+    rows, cols = expand_dof(rows, cols, dof)
+    n = nx * ny * nz * dof
+    return COOMatrix(n, n, rows, cols, None)
+
+
+def _stencil_nodes(
+    stencils: dict, stencil: int, dims: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Node-level (rows, cols) of a structured-grid stencil pattern."""
+    if stencil not in stencils:
+        raise FormatError(f"stencil must be one of {sorted(stencils)}")
+    total = int(np.prod(dims))
+    node = np.arange(total, dtype=np.int64)
+    coords = []
+    rest = node
+    for d in dims:
+        coords.append(rest % d)
+        rest = rest // d
+    rows_l, cols_l = [], []
+    for offsets in stencils[stencil]:
+        ok = np.ones(total, dtype=bool)
+        target = np.zeros(total, dtype=np.int64)
+        scale = 1
+        for axis, off in enumerate(offsets):
+            j = coords[axis] + off
+            ok &= (j >= 0) & (j < dims[axis])
+            target += j * scale
+            scale *= dims[axis]
+        rows_l.append(node[ok])
+        cols_l.append(target[ok])
+    return np.concatenate(rows_l), np.concatenate(cols_l)
+
+
+def _drop_couplings(
+    rows: np.ndarray, cols: np.ndarray, drop_fraction: float, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetrically remove a share of the off-diagonal node couplings."""
+    if drop_fraction == 0.0:
+        return rows, cols
+    if not 0.0 <= drop_fraction < 1.0:
+        raise FormatError("drop_fraction must be in [0, 1)")
+    # Decide per unordered pair, so (i, j) and (j, i) live or die together.
+    lo = np.minimum(rows, cols).astype(np.uint64)
+    hi = np.maximum(rows, cols).astype(np.uint64)
+    pair = lo * np.uint64(0x9E3779B97F4A7C15) + hi * np.uint64(0xC2B2AE3D27D4EB4F)
+    pair ^= np.uint64((seed * 0x165667B19E3779F9) % 2**64)
+    pair ^= pair >> np.uint64(29)
+    keep = (rows == cols) | ((pair % np.uint64(10_000)).astype(np.int64)
+                             >= int(drop_fraction * 10_000))
+    return rows[keep], cols[keep]
+
+
+# --------------------------------------------------------------------- #
+# Irregular generators (matrices without an underlying geometry)
+# --------------------------------------------------------------------- #
+def powerlaw_graph(
+    n: int,
+    nnz: int,
+    alpha: float = 2.0,
+    uniform_fraction: float = 0.35,
+    seed: int = 0,
+) -> COOMatrix:
+    """A directed graph with power-law column popularity (web/wiki links).
+
+    A ``1 - uniform_fraction`` share of the targets follows a Zipf law of
+    exponent ``alpha`` (a few extremely hot pages); the rest is uniform (the
+    broad cold tail every web graph has).  Column accesses therefore mix
+    cache-resident hubs with irregular cold references spread over the whole
+    input vector — the latency-bound profile of the paper's ``wikipedia``
+    and ``wb-edu`` matrices.
+    """
+    if alpha <= 1.0:
+        raise FormatError("zipf exponent must exceed 1")
+    if not 0.0 <= uniform_fraction < 1.0:
+        raise FormatError("uniform_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    k = int(nnz * 1.05)
+    rows = rng.integers(0, n, k)
+    hot = (rng.zipf(alpha, k).astype(np.int64) - 1) % n
+    # Scatter hubs across the index range instead of packing them at 0.
+    hot = (hot * np.int64(2654435761)) % n
+    cols = np.where(rng.random(k) < uniform_fraction, rng.integers(0, n, k), hot)
+    coo = COOMatrix(n, n, rows, cols, None)
+    return _trim(coo, nnz, rng)
+
+
+def banded_random(
+    n: int,
+    nnz: int,
+    bandwidth: int,
+    local_fraction: float = 0.7,
+    seed: int = 0,
+) -> COOMatrix:
+    """Random entries concentrated in a band around the diagonal.
+
+    Models graphs with mild locality such as ``cage15`` (DNA
+    electrophoresis): most couplings are near-diagonal, a minority are
+    long-range, degrees are narrow.
+    """
+    rng = np.random.default_rng(seed)
+    k = int(nnz * 1.03)
+    rows = rng.integers(0, n, k)
+    local = rng.random(k) < local_fraction
+    offsets = rng.integers(-bandwidth, bandwidth + 1, k)
+    cols = np.where(
+        local, np.clip(rows + offsets, 0, n - 1), rng.integers(0, n, k)
+    )
+    coo = COOMatrix(n, n, rows, cols, None)
+    return _trim(coo, nnz, rng)
+
+
+def circuit(
+    n: int,
+    avg_offdiag: float = 2.0,
+    hub_fraction: float = 2e-5,
+    hub_degree: int = 2000,
+    local_fraction: float = 0.6,
+    local_span: int = 64,
+    n_rails: int = 512,
+    seed: int = 0,
+) -> COOMatrix:
+    """A circuit-simulation pattern: diagonal + short irregular rows + hubs.
+
+    Most rows hold the diagonal plus a couple of off-diagonals: the
+    majority couple to nearby nodes (netlist ordering keeps circuits
+    local), the rest connect to one of ``n_rails`` supply-rail columns —
+    a small, hot, cache-resident set, which is why real circuit matrices
+    are bandwidth- rather than latency-bound.  A few hub columns/rows are
+    nearly dense.  Rows are short, so CSR loop overhead matters; blocks
+    barely exist — the profile of the paper's circuit matrices
+    (ASIC_680k, G3_circuit, Hamrle3, rajat31).
+    """
+    rng = np.random.default_rng(seed)
+    diag = np.arange(n, dtype=np.int64)
+    k = int(n * avg_offdiag)
+    rows = rng.integers(0, n, k)
+    local = rng.random(k) < local_fraction
+    offsets = rng.integers(-local_span, local_span + 1, k)
+    rails = rng.choice(n, size=min(n_rails, n), replace=False).astype(np.int64)
+    cols = np.where(
+        local,
+        np.clip(rows + offsets, 0, n - 1),
+        rails[rng.integers(0, rails.shape[0], k)],
+    )
+    # Hubs: a handful of nearly-dense columns and rows.
+    n_hubs = max(int(n * hub_fraction), 1)
+    hubs = rng.choice(n, size=n_hubs, replace=False).astype(np.int64)
+    hub_rows = rng.integers(0, n, n_hubs * hub_degree)
+    hub_cols = np.repeat(hubs, hub_degree)
+    all_rows = np.concatenate([diag, rows, hub_rows, hub_cols])
+    all_cols = np.concatenate([diag, cols, hub_cols, hub_rows])
+    return COOMatrix(n, n, all_rows, all_cols, None)
+
+
+def linear_programming(
+    nrows: int,
+    ncols: int,
+    nnz: int,
+    run_len: int = 1,
+    seed: int = 0,
+) -> COOMatrix:
+    """A (wide) LP constraint-matrix pattern.
+
+    Entries come in horizontal runs of ``run_len`` at random positions;
+    ``run_len = 1`` gives the hyper-sparse profile of ``rail4284`` (fewer
+    nonzeros than rows), larger runs give ``spal_004``-style banded rows.
+    """
+    rng = np.random.default_rng(seed)
+    n_runs = max(int(nnz / run_len), 1)
+    run_rows = rng.integers(0, nrows, n_runs)
+    run_starts = rng.integers(0, max(ncols - run_len, 1), n_runs)
+    rows = np.repeat(run_rows, run_len)
+    cols = (run_starts[:, None] + np.arange(run_len)[None, :]).ravel()
+    coo = COOMatrix(nrows, ncols, rows, np.minimum(cols, ncols - 1), None)
+    return _trim(coo, nnz, rng)
+
+
+def clustered_rows(
+    nrows: int,
+    ncols: int,
+    nnz: int,
+    run_len_range: tuple[int, int] = (3, 8),
+    patch_height: int = 1,
+    seed: int = 0,
+) -> COOMatrix:
+    """Dense horizontal runs — optionally stacked into 2D patches.
+
+    With ``patch_height = 1``: dense row segments at random starts, the
+    profile 1D-VBL and wide ``1 x c`` blocks exploit with no vertical
+    correlation between rows (TSOPF_RS-style).  With ``patch_height > 1``
+    each run is replicated over that many consecutive rows, producing the
+    partially-blockable 2D clusters of the chemistry / ND matrices
+    (Ga41As41H72, nd24k) where unaligned patch boundaries leave padding
+    for BCSR that the decomposed variants avoid.
+    """
+    rng = np.random.default_rng(seed)
+    lo, hi = run_len_range
+    if lo < 1 or hi < lo:
+        raise FormatError("bad run length range")
+    if patch_height < 1:
+        raise FormatError("patch_height must be >= 1")
+    mean_len = (lo + hi) / 2
+    n_runs = max(int(nnz / (mean_len * patch_height)), 1)
+    lens = rng.integers(lo, hi + 1, n_runs)
+    run_rows = rng.integers(0, max(nrows - patch_height, 1), n_runs)
+    run_starts = rng.integers(0, max(ncols - hi, 1), n_runs)
+    rows = np.repeat(run_rows, lens)
+    total = int(lens.sum())
+    # Offsets within runs: global arange minus each run's first index.
+    first = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(first, lens)
+    cols = np.repeat(run_starts, lens) + offsets
+    if patch_height > 1:
+        dh = np.arange(patch_height, dtype=np.int64)
+        rows = (rows[:, None] + dh[None, :]).ravel()
+        cols = np.repeat(cols, patch_height)
+    coo = COOMatrix(
+        nrows, ncols, np.minimum(rows, nrows - 1),
+        np.minimum(cols, ncols - 1), None,
+    )
+    return _trim(coo, nnz, rng)
+
+
+def diagonal_pattern(
+    n: int,
+    offsets: tuple[int, ...],
+    fill: float = 1.0,
+    seed: int = 0,
+) -> COOMatrix:
+    """A multi-diagonal pattern with per-entry occupancy ``fill``.
+
+    With ``fill < 1`` the diagonals are ragged: perfect for BCSD (which
+    pads the few holes) and poor for rectangular blocks — the profile of
+    the paper's ``stomach`` matrix.
+    """
+    if not 0.0 < fill <= 1.0:
+        raise FormatError("fill must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    rows_l, cols_l = [], []
+    for d in offsets:
+        i = np.arange(max(0, -d), min(n, n - d), dtype=np.int64)
+        if fill < 1.0:
+            i = i[rng.random(i.shape[0]) < fill]
+        rows_l.append(i)
+        cols_l.append(i + d)
+    return COOMatrix(n, n, np.concatenate(rows_l), np.concatenate(cols_l), None)
+
+
+# --------------------------------------------------------------------- #
+# Structure transforms
+# --------------------------------------------------------------------- #
+def shuffled(coo: COOMatrix, seed: int = 0) -> COOMatrix:
+    """Apply one random symmetric permutation to rows and columns.
+
+    Destroys all locality while preserving row lengths — turns a regular
+    mesh into the latency-bound profile of ``thermal2``.
+    """
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(max(coo.nrows, coo.ncols)).astype(np.int64)
+    return COOMatrix(
+        coo.nrows, coo.ncols, perm[coo.rows] % coo.nrows,
+        perm[coo.cols] % coo.ncols, None
+    )
+
+
+def partially_shuffled(coo: COOMatrix, window: int = 512, seed: int = 0) -> COOMatrix:
+    """Permute indices only within windows of ``window`` consecutive ids.
+
+    Keeps coarse locality (bandwidth) but destroys the fine-grained
+    contiguity blocking needs — the profile of ``cfd2``/``parabolic_fem``
+    style matrices where blocking does not pay off.
+    """
+    rng = np.random.default_rng(seed)
+    size = max(coo.nrows, coo.ncols)
+    perm = np.arange(size, dtype=np.int64)
+    for start in range(0, size, window):
+        stop = min(start + window, size)
+        perm[start:stop] = start + rng.permutation(stop - start)
+    return COOMatrix(
+        coo.nrows, coo.ncols, perm[coo.rows] % coo.nrows,
+        perm[coo.cols] % coo.ncols, None
+    )
+
+
+def expand_dof(
+    rows: np.ndarray, cols: np.ndarray, dof: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand node-level connectivity into dof x dof dense blocks."""
+    if dof == 1:
+        return rows, cols
+    a = np.arange(dof, dtype=np.int64)
+    big_rows = (rows[:, None, None] * dof + a[None, :, None]).repeat(dof, axis=2)
+    big_cols = (cols[:, None, None] * dof + a[None, None, :]).repeat(dof, axis=1)
+    return big_rows.ravel(), big_cols.ravel()
+
+
+def random_values(coo: COOMatrix, seed: int = 0) -> COOMatrix:
+    """Attach reproducible standard-normal values to a pattern."""
+    rng = np.random.default_rng(seed)
+    return coo.with_values(rng.standard_normal(coo.nnz))
+
+
+def _trim(coo: COOMatrix, nnz: int, rng: np.random.Generator) -> COOMatrix:
+    """Reduce a (deduplicated) pattern to exactly ``nnz`` entries if larger."""
+    if coo.nnz <= nnz:
+        return coo
+    keep = rng.choice(coo.nnz, size=nnz, replace=False)
+    keep.sort()
+    return COOMatrix(
+        coo.nrows, coo.ncols, coo.rows[keep], coo.cols[keep], None, canonical=True
+    )

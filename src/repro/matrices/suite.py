@@ -1,0 +1,172 @@
+"""The 30-matrix evaluation suite (paper Table I), rebuilt synthetically.
+
+Each entry pairs one matrix of the paper's suite with a synthetic generator
+reproducing its structural class, scaled roughly 8-15x down so the full
+sweep runs on one machine (see DESIGN.md, "Substitutions").  Working sets
+all exceed the simulated 4 MiB L2 — the suite-level analogue of the paper's
+">25 MB, so that none of them fits in the processor's cache".
+
+Entries #1-#2 are the special matrices (dense, random); #3-#16 come from
+problems without an underlying 2D/3D geometry; #17-#30 have one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..formats.coo import COOMatrix
+from . import generators as g
+
+__all__ = ["SuiteEntry", "SUITE", "get_entry", "entry_names"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One matrix of the evaluation suite."""
+
+    idx: int
+    name: str
+    domain: str
+    geometry: bool
+    special: bool
+    #: The original matrix's published size (Table I), for EXPERIMENTS.md.
+    paper_rows: int
+    paper_nnz: int
+    paper_ws_mib: float
+    builder: Callable[[], COOMatrix]
+    note: str
+
+    def build(self) -> COOMatrix:
+        """Generate the (structure-only) pattern."""
+        return self.builder()
+
+
+def _e(idx, name, domain, geometry, special, prows, pnnz, pws, note, builder):
+    return SuiteEntry(
+        idx=idx,
+        name=name,
+        domain=domain,
+        geometry=geometry,
+        special=special,
+        paper_rows=prows,
+        paper_nnz=pnnz,
+        paper_ws_mib=pws,
+        builder=builder,
+        note=note,
+    )
+
+
+SUITE: tuple[SuiteEntry, ...] = (
+    _e(1, "dense", "special", False, True, 2_000, 4_000_000, 30.54,
+       "fully dense; the largest possible blocks",
+       lambda: g.dense(1000)),
+    _e(2, "random", "special", False, True, 100_000, 14_977_726, 115.42,
+       "uniform random; worst case for padded blocking",
+       lambda: g.random_uniform(150_000, 150_000, 1_800_000, seed=2)),
+    _e(3, "cfd2", "CFD", False, False, 123_440, 1_605_669, 24.95,
+       "mesh with fine-grained contiguity destroyed",
+       lambda: g.partially_shuffled(g.grid2d(480, 480, 9), window=256, seed=3)),
+    _e(4, "parabolic_fem", "CFD", False, False, 525_825, 2_100_225, 34.05,
+       "5-point stencil, very short rows",
+       lambda: g.grid2d(510, 510, 5)),
+    _e(5, "Ga41As41H72", "Chemistry", False, False, 268_096, 9_378_286, 74.62,
+       "short 2D clusters; decomposition-friendly",
+       lambda: g.clustered_rows(70_000, 70_000, 1_600_000, (2, 6),
+                                patch_height=2, seed=5)),
+    _e(6, "ASIC_680k", "Circuit", False, False, 682_862, 3_871_773, 37.35,
+       "diagonal + short irregular rows + supply hubs",
+       lambda: g.circuit(240_000, avg_offdiag=3.5, seed=6)),
+    _e(7, "G3_circuit", "Circuit", False, False, 1_585_478, 4_623_152, 76.59,
+       "very short rows, mostly local couplings",
+       lambda: g.circuit(600_000, avg_offdiag=1.8, local_fraction=0.8, seed=7)),
+    _e(8, "Hamrle3", "Circuit", False, False, 1_447_360, 5_514_242, 58.63,
+       "short rows, tight local span",
+       lambda: g.circuit(520_000, avg_offdiag=2.6, local_span=16, seed=8)),
+    _e(9, "rajat31", "Circuit", False, False, 4_690_002, 20_316_253, 208.67,
+       "large circuit, short rows",
+       lambda: g.circuit(800_000, avg_offdiag=2.2, seed=9)),
+    _e(10, "cage15", "Graph", False, False, 5_154_859, 99_199_551, 815.82,
+       "DNA electrophoresis graph; mild locality, narrow degrees",
+       lambda: g.banded_random(160_000, 2_400_000, bandwidth=2_000, seed=10)),
+    _e(11, "wb-edu", "Graph", False, False, 9_845_725, 57_156_537, 548.75,
+       "web crawl; skewed in-degrees",
+       lambda: g.powerlaw_graph(800_000, 2_400_000, alpha=2.2,
+                                uniform_fraction=0.15, seed=11)),
+    _e(12, "wikipedia", "Graph", False, False, 3_148_440, 39_383_235, 336.50,
+       "strongly power-law links; latency-bound",
+       lambda: g.powerlaw_graph(760_000, 2_400_000, alpha=1.7, seed=12)),
+    _e(13, "degme", "Lin. Prog.", False, False, 659_415, 8_127_528, 65.94,
+       "wide LP constraints, short runs",
+       lambda: g.linear_programming(110_000, 150_000, 1_100_000, run_len=2,
+                                    seed=13)),
+    _e(14, "rail4284", "Lin. Prog.", False, False, 1_096_894, 1_000_000, 90.31,
+       "hyper-sparse: fewer nonzeros than rows",
+       lambda: g.linear_programming(480_000, 8_000, 550_000, run_len=1,
+                                    seed=14)),
+    _e(15, "spal_004", "Lin. Prog.", False, False, 321_696, 46_168_124, 353.54,
+       "dense row segments over a wide column space; latency-bound",
+       lambda: g.linear_programming(42_000, 760_000, 2_300_000, run_len=12,
+                                    seed=15)),
+    _e(16, "bone010", "Other", False, False, 986_703, 36_326_514, 288.44,
+       "3D FE bone model, 3-dof node blocks",
+       lambda: g.grid3d(22, 22, 22, 27, dof=3, drop_fraction=0.30, seed=16)),
+    _e(17, "kkt_power", "Power", True, False, 2_063_494, 8_130_343, 121.05,
+       "KKT system; blocking barely applicable",
+       lambda: g.circuit(700_000, avg_offdiag=2.4, local_fraction=0.5,
+                         seed=17)),
+    _e(18, "largebasis", "Opt.", True, False, 440_020, 5_560_100, 45.01,
+       "9-point mesh with 2-dof blocks",
+       lambda: g.grid2d(195, 195, 9, dof=2, drop_fraction=0.25, seed=18)),
+    _e(19, "TSOPF_RS", "Opt.", True, False, 38_120, 16_171_169, 123.81,
+       "very dense rows in long runs; everything blocks well",
+       lambda: g.clustered_rows(6_200, 6_200, 2_300_000, (40, 120), seed=19)),
+    _e(20, "af_shell10", "Struct.", True, False, 1_508_065, 27_090_195, 223.94,
+       "shell FEM, 2-dof node blocks",
+       lambda: g.grid2d(350, 350, 5, dof=2, drop_fraction=0.18, seed=20)),
+    _e(21, "audikw_1", "Struct.", True, False, 943_695, 39_297_771, 310.62,
+       "3D FEM, 3-dof node blocks",
+       lambda: g.grid3d(20, 20, 20, 27, dof=3, drop_fraction=0.30, seed=21)),
+    _e(22, "F1", "Struct.", True, False, 343_791, 13_590_452, 107.62,
+       "3D FEM, 3-dof node blocks",
+       lambda: g.grid3d(21, 20, 20, 27, dof=3, drop_fraction=0.32, seed=22)),
+    _e(23, "fdiff", "Struct.", True, False, 4_000_000, 27_840_000, 258.18,
+       "3D 7-point finite differences: pure diagonals",
+       lambda: g.grid3d(64, 64, 64, 7)),
+    _e(24, "gearbox", "Struct.", True, False, 153_746, 4_617_075, 71.04,
+       "3D FEM, 3-dof node blocks (small)",
+       lambda: g.grid3d(19, 19, 19, 27, dof=3, drop_fraction=0.24, seed=24)),
+    _e(25, "inline_1", "Struct.", True, False, 503_712, 18_660_027, 148.13,
+       "3D FEM, 3-dof node blocks",
+       lambda: g.grid3d(19, 19, 19, 27, dof=3, drop_fraction=0.30, seed=25)),
+    _e(26, "ldoor", "Struct.", True, False, 952_203, 23_737_339, 192.00,
+       "3D FEM, 3-dof node blocks (large)",
+       lambda: g.grid3d(21, 21, 21, 27, dof=3, drop_fraction=0.26, seed=26)),
+    _e(27, "pwtk", "Struct.", True, False, 217_918, 5_926_171, 47.71,
+       "wind tunnel; 6-dof node blocks",
+       lambda: g.grid2d(75, 75, 9, dof=6, drop_fraction=0.22, seed=27)),
+    _e(28, "thermal2", "Other", True, False, 1_228_045, 4_904_179, 51.47,
+       "unstructured mesh, random numbering; latency-bound",
+       lambda: g.shuffled(g.grid2d(880, 880, 5), seed=28)),
+    _e(29, "nd24k", "Other", True, False, 72_000, 14_393_817, 110.64,
+       "large dense 2D clusters (nested-dissection style)",
+       lambda: g.clustered_rows(30_000, 30_000, 2_000_000, (3, 6),
+                                patch_height=4, seed=29)),
+    _e(30, "stomach", "Other", True, False, 213_360, 3_021_648, 25.50,
+       "ragged multi-diagonal pattern: BCSD territory",
+       lambda: g.diagonal_pattern(
+           170_000, (0, 1, -1, 2, -2, 413, -413, 414, -414), fill=0.92,
+           seed=30)),
+)
+
+
+def get_entry(name_or_idx: str | int) -> SuiteEntry:
+    """Look up a suite entry by name or 1-based index."""
+    for entry in SUITE:
+        if entry.name == name_or_idx or entry.idx == name_or_idx:
+            return entry
+    raise KeyError(f"no suite entry {name_or_idx!r}")
+
+
+def entry_names() -> list[str]:
+    return [e.name for e in SUITE]

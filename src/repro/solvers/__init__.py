@@ -1,0 +1,10 @@
+"""Iterative solvers on top of the tuned SpMV formats.
+
+The paper motivates SpMV through the iterative methods that spend most of
+their time in it; this package provides those methods so a tuned format is
+immediately usable: CG, BiCGSTAB, Jacobi, and power iteration.
+"""
+
+from .krylov import SolveResult, bicgstab, cg, jacobi, power_iteration
+
+__all__ = ["SolveResult", "cg", "bicgstab", "jacobi", "power_iteration"]

@@ -1,0 +1,105 @@
+"""Common enums, constants and small value types shared across the package.
+
+The paper fixes a few conventions that the whole reproduction relies on:
+
+* index structures are stored with **4-byte integers** (paper Section V),
+* the 1D-VBL block-size array uses **1-byte entries**, capping a block at
+  255 elements (larger runs are split),
+* two floating-point precisions are evaluated: single (``sp``) and double
+  (``dp``),
+* two kernel implementations are evaluated: plain ``scalar`` code and
+  vectorized ``simd`` code (fixed-size blocked formats only).
+
+These constants live here so that the working-set accounting in
+:mod:`repro.formats` and the cost tables in :mod:`repro.machine` can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Precision",
+    "Impl",
+    "BlockShape",
+    "INDEX_BYTES",
+    "VBL_SIZE_BYTES",
+    "VBL_MAX_BLOCK",
+    "DEFAULT_MAX_BLOCK_ELEMS",
+]
+
+#: Bytes per entry of every index structure (col_ind, row_ptr, ...).
+INDEX_BYTES = 4
+
+#: Bytes per entry of the 1D-VBL ``blk_size`` array.
+VBL_SIZE_BYTES = 1
+
+#: Maximum number of elements a single 1D-VBL block may hold (uint8 range).
+VBL_MAX_BLOCK = 255
+
+#: The paper only considers fixed-size blocks with at most 8 elements
+#: ("we used blocks with up to eight elements").
+DEFAULT_MAX_BLOCK_ELEMS = 8
+
+
+class Precision(str, enum.Enum):
+    """Floating-point precision of the matrix values and the vectors."""
+
+    SP = "sp"
+    DP = "dp"
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per floating-point element."""
+        return 4 if self is Precision.SP else 8
+
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy dtype used by the functional kernels."""
+        return np.dtype(np.float32) if self is Precision.SP else np.dtype(np.float64)
+
+    @classmethod
+    def coerce(cls, value: "Precision | str") -> "Precision":
+        return value if isinstance(value, cls) else cls(str(value).lower())
+
+
+class Impl(str, enum.Enum):
+    """Kernel implementation flavour.
+
+    ``SIMD`` only exists for the fixed-size blocked formats; CSR and 1D-VBL
+    are always ``SCALAR`` (the paper did not vectorize them).
+    """
+
+    SCALAR = "scalar"
+    SIMD = "simd"
+
+    @classmethod
+    def coerce(cls, value: "Impl | str") -> "Impl":
+        return value if isinstance(value, cls) else cls(str(value).lower())
+
+
+@dataclass(frozen=True, order=True)
+class BlockShape:
+    """An ``r x c`` block shape for the fixed-size rectangular formats."""
+
+    r: int
+    c: int
+
+    def __post_init__(self) -> None:
+        if self.r < 1 or self.c < 1:
+            raise ValueError(f"block shape must be positive, got {self.r}x{self.c}")
+
+    @property
+    def elems(self) -> int:
+        return self.r * self.c
+
+    def __iter__(self):
+        yield self.r
+        yield self.c
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.r}x{self.c}"

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.profiling import profile_machine
+from repro.formats import COOMatrix
+from repro.machine import CORE2_XEON
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20090701)
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The paper's testbed preset."""
+    return CORE2_XEON
+
+
+@pytest.fixture(scope="session")
+def profile_dp(machine):
+    """Calibrated dp block profile (session-scoped: profiling is slow)."""
+    return profile_machine(machine, "dp")
+
+
+@pytest.fixture(scope="session")
+def profile_sp(machine):
+    return profile_machine(machine, "sp")
+
+
+def make_random_coo(
+    nrows: int, ncols: int, nnz: int, seed: int, with_values: bool = True
+) -> COOMatrix:
+    """Small random test matrix (duplicates merged, so nnz is approximate)."""
+    r = np.random.default_rng(seed)
+    rows = r.integers(0, nrows, nnz)
+    cols = r.integers(0, ncols, nnz)
+    values = r.standard_normal(nnz) if with_values else None
+    return COOMatrix(nrows, ncols, rows, cols, values)
+
+
+@pytest.fixture()
+def small_coo():
+    """A 60x45 random matrix with values."""
+    return make_random_coo(60, 45, 420, seed=7)
+
+
+@pytest.fixture()
+def small_x(small_coo, rng):
+    return np.random.default_rng(11).standard_normal(small_coo.ncols)

@@ -1,0 +1,104 @@
+"""Tests for the BCSD format (aligned diagonal blocks with padding)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import BCSDMatrix, COOMatrix
+from repro.kernels import spmv_bcsd_scalar
+
+from .conftest import make_random_coo
+
+
+class TestGeometry:
+    def test_perfect_diagonal_single_block(self):
+        coo = COOMatrix(4, 4, [0, 1, 2, 3], [0, 1, 2, 3], [1.0, 2.0, 3.0, 4.0])
+        bcsd = BCSDMatrix.from_coo(coo, 4)
+        assert bcsd.n_blocks == 1
+        assert bcsd.padding == 0
+        np.testing.assert_array_equal(bcsd.bval[0], [1, 2, 3, 4])
+
+    def test_segment_alignment(self):
+        """A diagonal crossing a segment boundary splits into two blocks."""
+        coo = COOMatrix(4, 4, [1, 2], [1, 2], [5.0, 6.0])
+        bcsd = BCSDMatrix.from_coo(coo, 2)
+        assert bcsd.n_blocks == 2
+        assert bcsd.padding == 2
+
+    def test_left_edge_diagonal_negative_start(self):
+        """An element below the main diagonal in the first column produces
+        a block starting at a negative column — pure padding off-matrix."""
+        coo = COOMatrix(4, 4, [1, 3], [0, 2], [1.0, 2.0])
+        bcsd = BCSDMatrix.from_coo(coo, 2)
+        assert (bcsd.bcol_ind < 0).any()
+        np.testing.assert_array_equal(bcsd.to_dense(), coo.to_dense())
+
+    def test_offsets_within_segment(self):
+        coo = make_random_coo(20, 20, 80, seed=11, with_values=False)
+        bcsd = BCSDMatrix.from_coo(coo, 4, with_values=False)
+        assert bcsd.n_block_rows == 5
+        assert bcsd.nnz_stored == 4 * bcsd.n_blocks
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("b", [2, 3, 5, 8])
+    def test_working_set_formula(self, b):
+        coo = make_random_coo(30, 30, 120, seed=12)
+        bcsd = BCSDMatrix.from_coo(coo, b)
+        nb = bcsd.n_blocks
+        nseg = -(-30 // b)
+        expected = 8 * nb * b + 4 * nb + 4 * (nseg + 1) + 8 * 60
+        assert bcsd.working_set("dp") == expected
+
+    def test_descriptor(self):
+        coo = make_random_coo(10, 10, 30, seed=13)
+        assert BCSDMatrix.from_coo(coo, 3).block_descriptor() == ("bcsd", 3)
+
+    def test_x_stream_width_is_b(self):
+        coo = make_random_coo(12, 12, 40, seed=14, with_values=False)
+        bcsd = BCSDMatrix.from_coo(coo, 5, with_values=False)
+        assert bcsd.x_access_stream().width == 5
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("b", [2, 3, 4, 6, 8])
+    def test_matches_dense_reference(self, b, small_coo, small_x):
+        bcsd = BCSDMatrix.from_coo(small_coo, b)
+        expected = small_coo.to_dense() @ small_x
+        np.testing.assert_allclose(bcsd.spmv(small_x), expected)
+
+    def test_scalar_kernel_matches(self, small_coo, small_x):
+        bcsd = BCSDMatrix.from_coo(small_coo, 4)
+        out = np.zeros(bcsd.nrows)
+        spmv_bcsd_scalar(bcsd, small_x, out)
+        np.testing.assert_allclose(out, bcsd.spmv(small_x))
+
+    def test_right_edge_clipping(self):
+        """Diagonals running past the last column are masked, not read."""
+        coo = COOMatrix(4, 4, [0, 1], [3, 3], [2.0, 3.0])
+        bcsd = BCSDMatrix.from_coo(coo, 4)
+        x = np.array([1.0, 1.0, 1.0, 10.0])
+        np.testing.assert_allclose(bcsd.spmv(x), [20.0, 30.0, 0.0, 0.0])
+
+    def test_row_overhang_last_segment(self):
+        coo = COOMatrix(5, 5, [4], [0], [1.0])
+        bcsd = BCSDMatrix.from_coo(coo, 3)
+        y = bcsd.spmv(np.ones(5))
+        np.testing.assert_allclose(y, [0, 0, 0, 0, 1.0])
+
+    def test_to_dense_round_trip(self, small_coo):
+        bcsd = BCSDMatrix.from_coo(small_coo, 3)
+        np.testing.assert_allclose(bcsd.to_dense(), small_coo.to_dense())
+
+
+class TestValidation:
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(FormatError):
+            BCSDMatrix(4, 4, 0, np.array([0, 0]), np.empty(0), None, 0)
+
+    def test_rejects_bad_bval_shape(self):
+        with pytest.raises(FormatError):
+            BCSDMatrix(
+                4, 4, 2, np.array([0, 1, 1]), np.array([0]),
+                np.zeros((1, 3)), nnz=1,
+            )

@@ -1,0 +1,129 @@
+"""Tests for the BCSR format (aligned fixed-size blocks with padding)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import BCSRMatrix, COOMatrix
+from repro.kernels import spmv_bcsr_scalar
+from repro.types import BlockShape
+
+from .conftest import make_random_coo
+
+
+class TestGeometry:
+    def test_single_full_block(self):
+        coo = COOMatrix.from_dense(np.arange(1, 5, dtype=float).reshape(2, 2))
+        bcsr = BCSRMatrix.from_coo(coo, (2, 2))
+        assert bcsr.n_blocks == 1
+        assert bcsr.padding == 0
+        np.testing.assert_array_equal(bcsr.bval[0], [[1, 2], [3, 4]])
+
+    def test_alignment_forces_padding(self):
+        """A 2x2 block of nonzeros that straddles the alignment grid needs
+        four aligned blocks (the effect Fig. 1 illustrates)."""
+        dense = np.zeros((4, 4))
+        dense[1:3, 1:3] = 1.0
+        bcsr = BCSRMatrix.from_coo(COOMatrix.from_dense(dense), (2, 2))
+        assert bcsr.n_blocks == 4
+        assert bcsr.nnz == 4
+        assert bcsr.padding == 12
+
+    def test_block_anchors_are_aligned(self):
+        coo = make_random_coo(30, 40, 150, seed=3, with_values=False)
+        bcsr = BCSRMatrix.from_coo(coo, (3, 4), with_values=False)
+        starts = bcsr.x_access_stream().starts
+        assert np.all(starts % 4 == 0)
+
+    def test_edge_blocks_when_shape_not_divisible(self):
+        coo = COOMatrix(5, 5, [4], [4], [7.0])
+        bcsr = BCSRMatrix.from_coo(coo, (2, 2))
+        assert bcsr.n_block_rows == 3  # ceil(5/2)
+        assert bcsr.n_blocks == 1
+        np.testing.assert_array_equal(
+            bcsr.to_dense(), COOMatrix(5, 5, [4], [4], [7.0]).to_dense()
+        )
+
+    def test_nnz_stored_counts_padding(self):
+        coo = make_random_coo(24, 24, 60, seed=4)
+        bcsr = BCSRMatrix.from_coo(coo, (2, 3))
+        assert bcsr.nnz_stored == bcsr.n_blocks * 6
+        assert bcsr.padding_ratio >= 1.0
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("r,c", [(1, 2), (2, 2), (4, 2), (1, 8)])
+    def test_working_set_formula(self, r, c):
+        coo = make_random_coo(40, 40, 200, seed=5)
+        bcsr = BCSRMatrix.from_coo(coo, (r, c))
+        nb = bcsr.n_blocks
+        n_brows = -(-40 // r)
+        e = 8
+        expected = (
+            e * nb * r * c + 4 * nb + 4 * (n_brows + 1) + e * (40 + 40)
+        )
+        assert bcsr.working_set("dp") == expected
+
+    def test_descriptor(self):
+        coo = make_random_coo(10, 10, 20, seed=6)
+        bcsr = BCSRMatrix.from_coo(coo, BlockShape(2, 4))
+        assert bcsr.block_descriptor() == ("bcsr", (2, 4))
+
+    def test_block_rows_of_blocks_matches_ptr(self):
+        coo = make_random_coo(33, 33, 170, seed=7, with_values=False)
+        bcsr = BCSRMatrix.from_coo(coo, (3, 3), with_values=False)
+        brows = bcsr.block_rows_of_blocks()
+        assert brows.shape[0] == bcsr.n_blocks
+        assert np.all(np.diff(brows) >= 0)
+        counts = np.bincount(brows, minlength=bcsr.n_block_rows)
+        np.testing.assert_array_equal(counts, np.diff(bcsr.brow_ptr))
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("r,c", [(1, 2), (2, 1), (2, 2), (3, 2), (2, 4), (1, 8), (8, 1)])
+    def test_matches_dense_reference(self, r, c, small_coo, small_x):
+        bcsr = BCSRMatrix.from_coo(small_coo, (r, c))
+        expected = small_coo.to_dense() @ small_x
+        np.testing.assert_allclose(bcsr.spmv(small_x), expected)
+
+    def test_scalar_kernel_matches(self, small_coo, small_x):
+        bcsr = BCSRMatrix.from_coo(small_coo, (2, 3))
+        out = np.zeros(bcsr.nrows)
+        spmv_bcsr_scalar(bcsr, small_x, out)
+        np.testing.assert_allclose(out, bcsr.spmv(small_x))
+
+    def test_column_overhang(self):
+        """Blocks hanging past the last column must not read out of x."""
+        coo = COOMatrix(2, 5, [0, 1], [4, 4], [3.0, 5.0])
+        bcsr = BCSRMatrix.from_coo(coo, (2, 3))
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(bcsr.spmv(x), [15.0, 25.0])
+
+    def test_row_overhang(self):
+        coo = COOMatrix(5, 2, [4, 4], [0, 1], [1.0, 2.0])
+        bcsr = BCSRMatrix.from_coo(coo, (3, 2))
+        y = bcsr.spmv(np.array([10.0, 1.0]))
+        np.testing.assert_allclose(y, [0, 0, 0, 0, 12.0])
+
+    def test_structure_only_rejects_spmv(self, small_coo):
+        bcsr = BCSRMatrix.from_coo(small_coo, (2, 2), with_values=False)
+        with pytest.raises(FormatError):
+            bcsr.spmv(np.ones(small_coo.ncols))
+
+
+class TestValidation:
+    def test_rejects_wrong_bval_shape(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix(
+                4, 4, BlockShape(2, 2),
+                np.array([0, 1, 1]), np.array([0]),
+                np.zeros((1, 2, 3)), nnz=1,
+            )
+
+    def test_rejects_wrong_ptr_length(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix(
+                4, 4, BlockShape(2, 2),
+                np.array([0, 1]), np.array([0]),
+                np.zeros((1, 2, 2)), nnz=1,
+            )

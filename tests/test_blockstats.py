@@ -1,0 +1,122 @@
+"""Tests for the vectorized block-structure analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError
+from repro.formats import COOMatrix, bcsd_block_stats, bcsr_block_stats
+from repro.formats.blockstats import _unique_inverse_counts
+
+from .conftest import make_random_coo
+
+
+class TestUniqueInverseCounts:
+    @pytest.mark.parametrize("assume_sorted", [False])
+    def test_matches_numpy_unique(self, rng, assume_sorted):
+        key = np.random.default_rng(1).integers(0, 50, 300)
+        u, inv, cnt = _unique_inverse_counts(key, assume_sorted=assume_sorted)
+        ru, rinv, rcnt = np.unique(key, return_inverse=True, return_counts=True)
+        np.testing.assert_array_equal(u, ru)
+        np.testing.assert_array_equal(inv, rinv)
+        np.testing.assert_array_equal(cnt, rcnt)
+
+    def test_sorted_fast_path_matches(self):
+        key = np.sort(np.random.default_rng(2).integers(0, 40, 200))
+        u, inv, cnt = _unique_inverse_counts(key, assume_sorted=True)
+        ru, rinv, rcnt = np.unique(key, return_inverse=True, return_counts=True)
+        np.testing.assert_array_equal(u, ru)
+        np.testing.assert_array_equal(inv, rinv)
+        np.testing.assert_array_equal(cnt, rcnt)
+
+    def test_empty(self):
+        u, inv, cnt = _unique_inverse_counts(
+            np.empty(0, dtype=np.int64), assume_sorted=True
+        )
+        assert u.size == inv.size == cnt.size == 0
+
+
+class TestBcsrStats:
+    @pytest.mark.parametrize("r,c", [(1, 2), (2, 1), (2, 2), (3, 4), (1, 8)])
+    def test_counts_sum_to_nnz(self, r, c):
+        coo = make_random_coo(50, 70, 400, seed=41, with_values=False)
+        stats = bcsr_block_stats(coo, r, c)
+        assert int(stats.counts.sum()) == coo.nnz
+        assert stats.nnz == coo.nnz
+        assert stats.padding == stats.n_blocks * r * c - coo.nnz
+
+    def test_block_assignment_consistent(self):
+        coo = make_random_coo(40, 40, 250, seed=42, with_values=False)
+        stats = bcsr_block_stats(coo, 2, 3)
+        # Each nonzero's block must contain its coordinates.
+        brow = stats.block_row[stats.nnz_block]
+        bstart = stats.block_start_col[stats.nnz_block]
+        assert np.all(coo.rows // 2 == brow)
+        assert np.all((coo.cols >= bstart) & (coo.cols < bstart + 3))
+
+    def test_offsets_unique_within_block(self):
+        coo = make_random_coo(30, 30, 200, seed=43, with_values=False)
+        stats = bcsr_block_stats(coo, 2, 2)
+        combined = stats.nnz_block * 4 + stats.nnz_offset
+        assert np.unique(combined).shape[0] == coo.nnz
+
+    def test_blocks_in_row_major_order(self):
+        coo = make_random_coo(30, 30, 200, seed=44, with_values=False)
+        stats = bcsr_block_stats(coo, 3, 3)
+        key = stats.block_row * 100 + stats.block_start_col
+        assert np.all(np.diff(key) > 0)
+
+    def test_full_mask(self):
+        dense = np.ones((4, 4))
+        dense[3, 3] = 0.0
+        coo = COOMatrix.from_dense(dense)
+        stats = bcsr_block_stats(coo, 2, 2)
+        assert stats.full_mask().tolist() == [True, True, True, False]
+        assert int(stats.nnz_in_full_block().sum()) == 12
+
+    def test_rejects_bad_shape(self):
+        coo = make_random_coo(10, 10, 20, seed=45, with_values=False)
+        with pytest.raises(ConversionError):
+            bcsr_block_stats(coo, 0, 2)
+
+
+class TestBcsdStats:
+    @pytest.mark.parametrize("b", [2, 3, 5, 8])
+    def test_counts_sum_to_nnz(self, b):
+        coo = make_random_coo(50, 50, 300, seed=46, with_values=False)
+        stats = bcsd_block_stats(coo, b)
+        assert int(stats.counts.sum()) == coo.nnz
+
+    def test_diagonal_membership(self):
+        coo = make_random_coo(40, 40, 200, seed=47, with_values=False)
+        b = 4
+        stats = bcsd_block_stats(coo, b)
+        seg = stats.block_row[stats.nnz_block]
+        j0 = stats.block_start_col[stats.nnz_block]
+        t = stats.nnz_offset
+        # Reconstruct every coordinate from its block and offset.
+        np.testing.assert_array_equal(coo.rows, seg * b + t)
+        np.testing.assert_array_equal(coo.cols, j0 + t)
+
+    def test_pure_diagonal_matrix_perfect_fill(self):
+        n = 24
+        coo = COOMatrix(n, n, np.arange(n), np.arange(n), None)
+        stats = bcsd_block_stats(coo, 4)
+        assert stats.n_blocks == n // 4
+        assert stats.padding == 0
+        assert stats.full_mask().all()
+
+    def test_off_diagonals_are_blocks(self):
+        n = 12
+        i = np.arange(n - 1)
+        coo = COOMatrix(n, n, i, i + 1, None)  # superdiagonal
+        stats = bcsd_block_stats(coo, 3)
+        # Each segment contributes one diagonal block at j0 = seg*3 + 1.
+        assert stats.n_blocks == 4
+        np.testing.assert_array_equal(
+            stats.block_start_col, np.arange(4) * 3 + 1
+        )
+
+    def test_rejects_bad_size(self):
+        coo = make_random_coo(10, 10, 20, seed=48, with_values=False)
+        with pytest.raises(ConversionError):
+            bcsd_block_stats(coo, 0)

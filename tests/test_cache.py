@@ -1,0 +1,119 @@
+"""Tests for the cache models (windowed estimator + LRU oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import LRUCache, estimate_stream_misses, x_budget_lines
+
+
+class TestBudget:
+    def test_basic(self):
+        assert x_budget_lines(4 * 1024 * 1024, 64, 0.5) == 32768
+
+    def test_never_zero(self):
+        assert x_budget_lines(16, 64, 0.5) == 1
+
+
+class TestEstimator:
+    def test_resident_stream_no_misses(self):
+        lines = np.tile(np.arange(10), 100)
+        assert estimate_stream_misses(lines, budget_lines=16) == 0
+
+    def test_empty_stream(self):
+        assert estimate_stream_misses(np.empty(0, dtype=int), 100) == 0
+
+    def test_zero_budget(self):
+        assert estimate_stream_misses(np.arange(10), 0) == 0
+
+    def test_sequential_sweep_is_free(self):
+        """A pure forward sweep touches each line once per iteration —
+        that is streaming traffic (already in ws), not latency: the
+        compulsory discount cancels it."""
+        lines = np.arange(1000)
+        assert estimate_stream_misses(lines, budget_lines=50) == 0
+        # Without the discount the raw windowed count shows the thrash.
+        raw = estimate_stream_misses(
+            lines, budget_lines=50, discount_compulsory=False
+        )
+        assert raw >= 900
+
+    def test_irregular_rescans_cost_beyond_footprint(self):
+        """Random accesses over a big footprint keep re-missing the same
+        lines: the miss count exceeds the footprint even after discount."""
+        rng = np.random.default_rng(7)
+        lines = rng.integers(0, 4096, 60_000)
+        misses = estimate_stream_misses(lines, budget_lines=256)
+        assert misses > 4096
+
+    def test_random_stream_misses_scale_with_footprint(self):
+        rng = np.random.default_rng(0)
+        small = rng.integers(0, 64, 4000)
+        large = rng.integers(0, 4096, 4000)
+        budget = 128
+        m_small = estimate_stream_misses(small, budget)
+        m_large = estimate_stream_misses(large, budget)
+        assert m_small == 0  # footprint fits
+        assert m_large > 1000
+
+    def test_locality_beats_random(self):
+        """A banded stream (mesh matrix) must miss far less than a uniform
+        random stream of the same length and footprint."""
+        rng = np.random.default_rng(1)
+        n_lines = 2048
+        length = 20000
+        banded = (np.arange(length) // 10) % n_lines  # slow sweep
+        random = rng.integers(0, n_lines, length)
+        budget = 256
+        assert (
+            estimate_stream_misses(banded, budget)
+            < estimate_stream_misses(random, budget) / 2
+        )
+
+    def test_non_cyclic_counts_compulsory(self):
+        lines = np.arange(100)
+        cyclic = estimate_stream_misses(lines, 10, cyclic=True)
+        cold = estimate_stream_misses(lines, 10, cyclic=False)
+        assert cold >= cyclic  # cold start adds the first window's misses
+
+    def test_monotone_in_budget(self):
+        rng = np.random.default_rng(2)
+        lines = rng.integers(0, 1024, 10000)
+        misses = [
+            estimate_stream_misses(lines, b) for b in (32, 128, 512, 2048)
+        ]
+        assert misses == sorted(misses, reverse=True)
+
+
+class TestLRUOracle:
+    def test_basic_hit_miss(self):
+        c = LRUCache(2)
+        assert not c.access(1)   # miss
+        assert not c.access(2)   # miss
+        assert c.access(1)       # hit
+        assert not c.access(3)   # miss, evicts 2 (LRU)
+        assert not c.access(2)   # miss again
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_run_counts_misses(self):
+        c = LRUCache(4)
+        assert c.run(np.array([0, 1, 2, 3, 0, 1, 2, 3])) == 4
+
+    def test_estimator_tracks_oracle_ordering(self):
+        """On contrasting streams the fast estimator must order miss rates
+        the same way the exact LRU does."""
+        rng = np.random.default_rng(3)
+        length, n_lines, cap = 6000, 512, 64
+        streams = {
+            "regular": (np.arange(length) // 20) % n_lines,
+            "random": rng.integers(0, n_lines, length),
+        }
+        est = {
+            k: estimate_stream_misses(v, cap) for k, v in streams.items()
+        }
+        lru = {k: LRUCache(cap).run(v) for k, v in streams.items()}
+        assert (est["regular"] < est["random"]) == (
+            lru["regular"] < lru["random"]
+        )

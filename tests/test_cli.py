@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.bench.harness import SweepConfig, run_sweep
+
+from .test_experiments import MINI_SUITE
+
+
+class TestParser:
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["tableX"])
+
+    def test_requires_an_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+
+class TestColind:
+    def test_colind_runs_without_sweep(self, capsys, monkeypatch):
+        # Patch the latency-bound set down to one matrix to keep it fast.
+        from repro.bench import experiments
+
+        original = experiments.colind_zero
+
+        def fast_colind():
+            return original(matrix_ids=(12,))
+
+        monkeypatch.setattr(experiments, "colind_zero", fast_colind)
+        assert cli.main(["colind"]) == 0
+        out = capsys.readouterr().out
+        assert "col_ind=0" in out
+        assert "wikipedia" in out
+
+
+class TestSweepDriven:
+    @pytest.fixture()
+    def tiny_cache(self, tmp_path, monkeypatch):
+        """Pre-populate the cache dir with a mini-suite sweep so the CLI
+        does not run the real 30-matrix sweep."""
+        config = SweepConfig()
+        sweep = run_sweep(
+            MINI_SUITE,
+            SweepConfig(precisions=("sp", "dp"), thread_counts=(1, 2, 4)),
+        )
+        sweep.config = config  # masquerade as the default config
+        path = tmp_path / f"sweep_{config.fingerprint()}.json"
+        sweep.save(path)
+        return tmp_path
+
+    def test_table2_from_cache(self, capsys, tiny_cache):
+        assert cli.main(["table2", "--cache-dir", str(tiny_cache)]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_multiple_experiments(self, capsys, tiny_cache):
+        assert cli.main(
+            ["table3", "fig2", "table4", "--cache-dir", str(tiny_cache)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "Figure 2" in out
+        assert "Table IV" in out
+
+    def test_fig3_fig4_both_precisions(self, capsys, tiny_cache):
+        assert cli.main(["fig3", "fig4", "--cache-dir", str(tiny_cache)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3 (sp)" in out
+        assert "Figure 3 (dp)" in out
+        assert "Figure 4 (sp)" in out
+
+    def test_sweep_reports_stats(self, capsys, tiny_cache):
+        assert cli.main(["sweep", "--cache-dir", str(tiny_cache)]) == 0
+        assert "sweep ready" in capsys.readouterr().out

@@ -1,0 +1,130 @@
+"""Tests for the CSR format and its kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, CSRMatrix
+from repro.kernels import spmv_csr_scalar
+
+from .conftest import make_random_coo
+
+
+@pytest.fixture()
+def csr(small_coo):
+    return CSRMatrix.from_coo(small_coo)
+
+
+class TestConversion:
+    def test_round_trip_dense(self, small_coo, csr):
+        np.testing.assert_array_equal(csr.to_dense(), small_coo.to_dense())
+
+    def test_to_coo_round_trip(self, small_coo, csr):
+        assert csr.to_coo() == small_coo
+
+    def test_row_ptr_brackets(self, csr):
+        assert csr.row_ptr[0] == 0
+        assert csr.row_ptr[-1] == csr.nnz
+        assert np.all(np.diff(csr.row_ptr) >= 0)
+
+    def test_structure_only(self, small_coo):
+        s = CSRMatrix.from_coo(small_coo, with_values=False)
+        assert not s.has_values
+        assert s.nnz == small_coo.nnz
+        with pytest.raises(FormatError):
+            s.spmv(np.ones(s.ncols))
+
+    def test_empty_rows_preserved(self):
+        coo = COOMatrix(5, 5, [0, 4], [0, 4], [1.0, 2.0])
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.row_lengths().tolist() == [1, 0, 0, 0, 1]
+
+
+class TestValidation:
+    def test_rejects_bad_row_ptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_rejects_non_bracketing_ptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, [0, 1, 5], [0, 1], [1.0, 2.0])
+
+    def test_rejects_decreasing_ptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(3, 3, [0, 2, 1, 3], [0, 1, 2], [1.0, 2.0, 3.0])
+
+    def test_accepts_trailing_empty_rows(self):
+        csr = CSRMatrix(2, 2, [0, 2, 2], [0, 1], [1.0, 2.0])
+        assert csr.row_lengths().tolist() == [2, 0]
+
+
+class TestSpmv:
+    def test_matches_dense(self, small_coo, csr, small_x):
+        np.testing.assert_allclose(
+            csr.spmv(small_x), small_coo.to_dense() @ small_x
+        )
+
+    def test_scalar_kernel_matches(self, csr, small_x):
+        out = np.zeros(csr.nrows)
+        spmv_csr_scalar(csr, small_x, out)
+        np.testing.assert_allclose(out, csr.spmv(small_x))
+
+    def test_accumulates_into_out(self, csr, small_x):
+        base = np.ones(csr.nrows)
+        result = csr.spmv(small_x, out=base.copy())
+        np.testing.assert_allclose(result, 1.0 + csr.spmv(small_x))
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.from_coo(COOMatrix(3, 3, [], [], []))
+        np.testing.assert_array_equal(csr.spmv(np.ones(3)), np.zeros(3))
+
+    def test_matrix_with_empty_rows(self):
+        # reduceat needs the empty-row compaction; exercise it explicitly.
+        coo = COOMatrix(6, 4, [0, 3, 3, 5], [1, 0, 2, 3],
+                        [2.0, 1.0, 1.0, 4.0])
+        csr = CSRMatrix.from_coo(coo)
+        x = np.array([1.0, 10.0, 100.0, 1000.0])
+        np.testing.assert_allclose(
+            csr.spmv(x), [20.0, 0.0, 0.0, 101.0, 0.0, 4000.0]
+        )
+
+
+class TestAccounting:
+    def test_working_set_matches_paper_formula(self, csr):
+        e = 4  # sp
+        expected = (
+            e * csr.nnz + 4 * csr.nnz + 4 * (csr.nrows + 1)
+            + e * (csr.ncols + csr.nrows)
+        )
+        assert csr.working_set("sp") == expected
+
+    def test_degenerate_blocking_view(self, csr):
+        # The models treat CSR as 1x1 blocks with nb = nnz.
+        assert csr.n_blocks == csr.nnz
+        assert csr.block_descriptor() == ("csr", None)
+        assert csr.nnz_stored == csr.nnz
+        assert csr.padding == 0
+
+    def test_x_access_stream_is_col_ind(self, csr):
+        stream = csr.x_access_stream()
+        assert stream.width == 1
+        np.testing.assert_array_equal(stream.starts, csr.col_ind)
+
+    def test_table1_published_figures(self):
+        """Our ws formula reproduces the paper's Table I numbers."""
+        def ws_sp(nrows, ncols, nnz):
+            return 8 * nnz + 4 * (nrows + 1) + 4 * (nrows + ncols)
+
+        dense = ws_sp(2_000, 2_000, 4_000_000) / 2**20
+        random = ws_sp(100_000, 100_000, 14_977_726) / 2**20
+        assert dense == pytest.approx(30.54, abs=0.02)
+        assert random == pytest.approx(115.42, abs=0.05)
+
+
+class TestStreamProperties:
+    def test_line_ids_clip_and_pack(self):
+        coo = make_random_coo(20, 200, 100, seed=9, with_values=False)
+        csr = CSRMatrix.from_coo(coo, with_values=False)
+        lines = csr.x_access_stream().line_ids(line_elems=8)
+        assert lines.min() >= 0
+        assert lines.max() <= 199 // 8

@@ -1,0 +1,149 @@
+"""Tests for the decomposed formats (BCSR-DEC, BCSD-DEC)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    bcsr_block_stats,
+    decompose_bcsd,
+    decompose_bcsr,
+)
+
+from .conftest import make_random_coo
+
+
+def make_blocky_coo(seed: int = 17) -> COOMatrix:
+    """A 64x64 matrix mixing guaranteed-dense 2x2 blocks with random noise."""
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((64, 64))
+    # Plant 40 aligned, fully dense 2x2 tiles.
+    for _ in range(40):
+        i, j = 2 * rng.integers(0, 32, 2)
+        dense[i : i + 2, j : j + 2] = rng.standard_normal((2, 2)) + 3.0
+    # Sprinkle isolated entries that can never complete a block.
+    for _ in range(120):
+        i, j = rng.integers(0, 64, 2)
+        dense[i, j] = rng.standard_normal() + 3.0
+    return COOMatrix.from_dense(dense)
+
+
+class TestDecomposeBcsr:
+    def test_padding_free(self, small_coo):
+        dec = decompose_bcsr(small_coo, (2, 2))
+        assert dec.padding == 0
+        assert dec.padding_ratio == 1.0
+
+    def test_parts_partition_nnz(self, small_coo):
+        dec = decompose_bcsr(small_coo, (2, 2))
+        assert sum(p.nnz for p in dec.parts) == small_coo.nnz
+
+    def test_blocked_part_has_only_full_blocks(self):
+        dec = decompose_bcsr(make_blocky_coo(), (2, 2))
+        blocked = dec.parts[0]
+        assert blocked.kind == "bcsr"
+        assert blocked.nnz == blocked.nnz_stored
+
+    def test_spmv_matches_reference(self, small_coo, small_x):
+        for block in [(1, 2), (2, 2), (2, 3), (4, 2)]:
+            dec = decompose_bcsr(small_coo, block)
+            np.testing.assert_allclose(
+                dec.spmv(small_x), small_coo.to_dense() @ small_x
+            )
+
+    def test_matches_slow_path(self, small_coo):
+        """The stats-reusing fast path equals an independent reconstruction."""
+        stats = bcsr_block_stats(small_coo, 2, 3)
+        fast = decompose_bcsr(small_coo, (2, 3), stats=stats)
+        slow = decompose_bcsr(small_coo, (2, 3))
+        np.testing.assert_allclose(fast.to_dense(), slow.to_dense())
+
+    def test_no_full_blocks_degenerates_to_csr(self):
+        coo = COOMatrix(8, 8, [0, 2, 4], [0, 3, 7], [1.0, 2.0, 3.0])
+        dec = decompose_bcsr(coo, (2, 2))
+        assert len(dec.parts) == 1
+        assert dec.parts[0].kind == "csr"
+        assert dec.parts[0].nnz == 3
+
+    def test_all_full_blocks_no_remainder(self):
+        dense = np.arange(1.0, 17.0).reshape(4, 4)
+        dec = decompose_bcsr(COOMatrix.from_dense(dense), (2, 2))
+        assert len(dec.parts) == 1
+        assert dec.parts[0].kind == "bcsr"
+
+    def test_empty_matrix(self):
+        dec = decompose_bcsr(COOMatrix(4, 4, [], [], []), (2, 2))
+        assert dec.nnz == 0
+        assert len(dec.parts) == 1  # a (degenerate) CSR remainder
+
+    def test_kind_and_display(self, small_coo):
+        dec = decompose_bcsr(small_coo, (2, 2))
+        assert dec.kind == "bcsr_dec"
+        assert dec.display_name == "BCSR-DEC"
+
+
+class TestDecomposeBcsd:
+    @pytest.mark.parametrize("b", [2, 3, 4, 8])
+    def test_spmv_matches_reference(self, b, small_coo, small_x):
+        dec = decompose_bcsd(small_coo, b)
+        np.testing.assert_allclose(
+            dec.spmv(small_x), small_coo.to_dense() @ small_x
+        )
+
+    def test_padding_free(self, small_coo):
+        assert decompose_bcsd(small_coo, 4).padding == 0
+
+    def test_blocked_part_diagonals_full(self):
+        # Build a matrix with one guaranteed full diagonal block.
+        coo = COOMatrix(
+            4, 4, [0, 1, 2, 3, 0], [0, 1, 2, 3, 3], [1, 2, 3, 4, 9.0]
+        )
+        dec = decompose_bcsd(coo, 4)
+        blocked = dec.parts[0]
+        assert blocked.kind == "bcsd"
+        assert blocked.nnz == 4  # the main diagonal
+        rest = dec.parts[1]
+        assert rest.nnz == 1
+
+    def test_full_blocks_never_cross_edges(self, small_coo):
+        dec = decompose_bcsd(small_coo, 5)
+        if dec.parts[0].kind == "bcsd":
+            blocked = dec.parts[0]
+            assert (blocked.bcol_ind >= 0).all()
+            assert (blocked.bcol_ind + blocked.b <= blocked.ncols).all()
+
+
+class TestAccounting:
+    def test_working_set_charges_vectors_per_pass(self):
+        coo = make_blocky_coo()
+        dec = decompose_bcsr(coo, (2, 2))
+        assert len(dec.parts) == 2
+        e = 8
+        per_pass_vectors = e * (coo.ncols + coo.nrows)
+        y_reread = 8 * coo.nrows  # pass 2 reads y back to accumulate
+        expected = sum(
+            p.working_set_matrix_only("dp") for p in dec.parts
+        ) + 2 * per_pass_vectors + y_reread
+        assert dec.working_set("dp") == expected
+
+    def test_index_bytes_sum_of_parts(self, small_coo):
+        dec = decompose_bcsr(small_coo, (2, 2))
+        assert dec.index_bytes() == sum(p.index_bytes() for p in dec.parts)
+
+    def test_n_blocks_sum(self, small_coo):
+        dec = decompose_bcsd(small_coo, 3)
+        assert dec.n_blocks == sum(p.n_blocks for p in dec.parts)
+
+    def test_submatrices_exposed(self, small_coo):
+        dec = decompose_bcsr(small_coo, (2, 2))
+        assert dec.submatrices() == dec.parts
+
+    def test_remainder_has_short_rows(self):
+        """The paper notes the CSR remainder has very short rows — check the
+        remainder is sparser per row than the original."""
+        coo = make_blocky_coo()
+        dec = decompose_bcsr(coo, (2, 2))
+        rest = dec.parts[-1]
+        assert isinstance(rest, CSRMatrix)
+        assert rest.nnz < coo.nnz

@@ -1,0 +1,152 @@
+"""Tests for the execution simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.formats import COOMatrix, build_format
+from repro.machine import CORE2_XEON, simulate
+from repro.matrices.generators import grid2d, random_uniform, shuffled
+
+from .conftest import make_random_coo
+
+
+@pytest.fixture(scope="module")
+def fem():
+    """A blockable mesh matrix larger than L2 (dof=3 blocks)."""
+    return grid2d(110, 110, 5, dof=3)
+
+
+@pytest.fixture(scope="module")
+def random_big():
+    """A scattered matrix larger than L2 with a big x footprint."""
+    return random_uniform(400_000, 400_000, 900_000, seed=99)
+
+
+class TestBasicInvariants:
+    def test_breakdown_adds_up(self, fem, machine):
+        csr = build_format(fem, "csr", with_values=False)
+        res = simulate(csr, machine, "dp", "scalar")
+        assert res.t_total >= res.t_mem
+        assert res.t_total >= res.t_comp_exposed
+        assert res.t_total == pytest.approx(
+            max(res.t_mem, res.t_comp - res.t_comp_exposed)
+            + res.t_comp_exposed
+            + res.t_latency
+        )
+
+    def test_sp_faster_than_dp_when_memory_bound(self, fem, machine):
+        csr = build_format(fem, "csr", with_values=False)
+        t_sp = simulate(csr, machine, "sp", "scalar").t_total
+        t_dp = simulate(csr, machine, "dp", "scalar").t_total
+        assert t_sp < t_dp  # smaller working set
+
+    def test_rejects_bad_threads(self, fem, machine):
+        csr = build_format(fem, "csr", with_values=False)
+        with pytest.raises(ModelError):
+            simulate(csr, machine, "dp", "scalar", nthreads=0)
+        with pytest.raises(ModelError):
+            simulate(csr, machine, "dp", "scalar", nthreads=99)
+
+    def test_deterministic(self, fem, machine):
+        bcsr = build_format(fem, "bcsr", (3, 3), with_values=False)
+        a = simulate(bcsr, machine, "dp", "scalar").t_total
+        b = simulate(bcsr, machine, "dp", "scalar").t_total
+        assert a == b
+
+
+class TestPaperPhenomena:
+    def test_blocking_wins_on_fem(self, fem, machine):
+        """3x3 node blocks shrink col_ind 9x: BCSR must beat CSR."""
+        csr = build_format(fem, "csr", with_values=False)
+        bcsr = build_format(fem, "bcsr", (3, 3), with_values=False)
+        assert bcsr.padding_ratio < 1.05
+        t_csr = simulate(csr, machine, "dp", "scalar").t_total
+        t_bcsr = simulate(bcsr, machine, "dp", "scalar").t_total
+        assert t_bcsr < t_csr
+
+    def test_padding_blowup_loses_on_random(self, machine):
+        coo = random_uniform(60_000, 60_000, 600_000, seed=1)
+        csr = build_format(coo, "csr", with_values=False)
+        bcsr = build_format(coo, "bcsr", (2, 4), with_values=False)
+        assert bcsr.padding_ratio > 4.0
+        t_csr = simulate(csr, machine, "dp", "scalar").t_total
+        t_bcsr = simulate(bcsr, machine, "dp", "scalar").t_total
+        assert t_bcsr > 2.0 * t_csr
+
+    def test_decomposed_tracks_csr_on_random(self, machine):
+        coo = random_uniform(60_000, 60_000, 600_000, seed=1)
+        csr = build_format(coo, "csr", with_values=False)
+        dec = build_format(coo, "bcsr_dec", (2, 2), with_values=False)
+        t_csr = simulate(csr, machine, "dp", "scalar").t_total
+        t_dec = simulate(dec, machine, "dp", "scalar").t_total
+        assert t_dec == pytest.approx(t_csr, rel=0.1)
+
+    def test_irregular_matrix_pays_latency(self, random_big, machine):
+        csr = build_format(random_big, "csr", with_values=False)
+        res = simulate(csr, machine, "dp", "scalar")
+        assert res.x_misses > 0
+        assert res.t_latency > 0
+
+    def test_regular_matrix_pays_no_latency(self, fem, machine):
+        csr = build_format(fem, "csr", with_values=False)
+        res = simulate(csr, machine, "dp", "scalar")
+        assert res.t_latency == 0.0
+
+    def test_zero_col_ind_removes_latency(self, random_big, machine):
+        """The paper's custom benchmark: zeroing col_ind doubles(+) speed
+        on latency-bound matrices."""
+        csr = build_format(random_big, "csr", with_values=False)
+        normal = simulate(csr, machine, "dp", "scalar")
+        zeroed = simulate(csr, machine, "dp", "scalar", zero_col_ind=True)
+        assert zeroed.t_latency == 0.0
+        assert normal.t_total > 1.3 * zeroed.t_total
+
+    def test_shuffled_mesh_slower_than_mesh(self, machine):
+        mesh = grid2d(640, 640, 5)
+        perm = shuffled(mesh, seed=5)
+        t_mesh = simulate(
+            build_format(mesh, "csr", with_values=False), machine, "dp"
+        ).t_total
+        t_perm = simulate(
+            build_format(perm, "csr", with_values=False), machine, "dp"
+        ).t_total
+        assert t_perm > t_mesh
+
+    def test_small_matrix_streams_from_cache(self, machine):
+        coo = make_random_coo(40, 40, 800, seed=2, with_values=False)
+        csr = build_format(coo, "csr", with_values=False)
+        res = simulate(csr, machine, "dp", "scalar")
+        # ws fits L1: memory streams at L1 bandwidth, so the kernel is
+        # compute-bound and pays no x-miss latency — the regime the paper's
+        # t_b profiling relies on.
+        assert res.ws_bytes <= machine.l1.size_bytes
+        assert res.bound == "compute"
+        assert res.t_latency == 0.0
+
+
+class TestMulticore:
+    def test_speedup_with_threads(self, fem, machine):
+        bcsr = build_format(fem, "bcsr", (3, 3), with_values=False)
+        t1 = simulate(bcsr, machine, "dp", "scalar", nthreads=1).t_total
+        t2 = simulate(bcsr, machine, "dp", "scalar", nthreads=2).t_total
+        t4 = simulate(bcsr, machine, "dp", "scalar", nthreads=4).t_total
+        assert t2 < t1
+        assert t4 <= t2 * 1.01  # saturation may flatten, never degrade much
+
+    def test_bandwidth_bound_saturates(self, fem, machine):
+        """Once the FSB saturates, more cores stop helping (the paper's
+        multicore motif)."""
+        csr = build_format(fem, "csr", with_values=False)
+        t2 = simulate(csr, machine, "dp", "scalar", nthreads=2).t_total
+        t4 = simulate(csr, machine, "dp", "scalar", nthreads=4).t_total
+        floor = csr.working_set("dp") / machine.memory_bandwidth(4)
+        assert t4 >= floor
+        assert abs(t4 - t2) / t2 < 0.25
+
+    def test_result_metadata(self, fem, machine):
+        csr = build_format(fem, "csr", with_values=False)
+        res = simulate(csr, machine, "sp", "scalar", nthreads=2)
+        assert res.nthreads == 2
+        assert res.precision.value == "sp"
+        assert res.impl.value == "scalar"

@@ -1,0 +1,97 @@
+"""Regression tests for the simulator's handling of decomposed formats."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, build_format
+from repro.machine import CORE2_XEON, simulate
+from repro.matrices.generators import grid2d, random_uniform
+
+
+class TestEtaPerPart:
+    def test_degenerate_dec_equals_csr_modulo_floor(self):
+        """A decomposition whose blocked part is empty is literally a CSR
+        matrix: a 'SIMD' run must not change its exposed-compute fraction
+        (regression: eta used the requested impl, not the executed one)."""
+        coo = random_uniform(60_000, 60_000, 600_000, seed=1)
+        csr = build_format(coo, "csr", with_values=False)
+        dec = build_format(coo, "bcsr_dec", (1, 3), with_values=False)
+        if len(dec.submatrices()) == 1:  # fully degenerate
+            t_csr = simulate(csr, CORE2_XEON, "dp", "scalar")
+            t_dec = simulate(dec, CORE2_XEON, "dp", "simd")
+            assert t_dec.t_comp == pytest.approx(t_csr.t_comp)
+            assert t_dec.t_total == pytest.approx(t_csr.t_total)
+
+    def test_simd_only_moves_the_blocked_part(self):
+        """For a two-part DEC, switching kernels changes compute *less*
+        than for the pure-BCSR matrix: the CSR remainder stays scalar and
+        dilutes the effect (whichever direction it goes for the shape)."""
+        coo = grid2d(80, 80, 5, dof=3, drop_fraction=0.3, seed=2)
+        dec = build_format(coo, "bcsr_dec", (3, 2), with_values=False)
+        assert len(dec.submatrices()) == 2
+        bcsr = build_format(coo, "bcsr", (3, 2), with_values=False)
+
+        def simd_shift(fmt):
+            scalar = simulate(fmt, CORE2_XEON, "sp", "scalar").t_comp
+            simd = simulate(fmt, CORE2_XEON, "sp", "simd").t_comp
+            return abs(simd / scalar - 1.0)
+
+        assert simd_shift(dec) < simd_shift(bcsr)
+
+
+class TestDecompositionPenalty:
+    def test_two_part_dec_slower_than_sum_of_streams(self):
+        """The multiple-pass locality loss makes t_mem exceed ws/BW."""
+        coo = grid2d(160, 160, 5, dof=3, drop_fraction=0.3, seed=3)
+        dec = build_format(coo, "bcsr_dec", (3, 2), with_values=False)
+        assert len(dec.submatrices()) == 2
+        res = simulate(dec, CORE2_XEON, "dp", "scalar")
+        ws = dec.working_set("dp")
+        plain_stream = ws / CORE2_XEON.stream_bandwidth(ws)
+        assert res.t_mem > plain_stream
+
+    def test_factor_bounds(self):
+        m = CORE2_XEON
+        assert m.decomposition_mem_factor([1.0]) == 1.0
+        balanced = m.decomposition_mem_factor([0.5, 0.5])
+        lopsided = m.decomposition_mem_factor([0.98, 0.02])
+        assert 1.0 < lopsided < balanced
+        assert balanced == pytest.approx(1.0 + m.dec_overlap_loss)
+
+    def test_floor_applies_to_lopsided_splits(self):
+        m = CORE2_XEON
+        lopsided = m.decomposition_mem_factor([0.999, 0.001])
+        assert lopsided >= 1.0 + 0.15 * m.dec_overlap_loss - 1e-12
+
+
+class TestLatencyAccounting:
+    def test_dec_charges_x_traffic_per_pass(self):
+        """A two-pass DEC streams x (and y) once per pass: the double
+        x-walk is charged in the working set — the latency term only
+        carries the *irregular re-fetches*, which both layouts pay."""
+        rng = np.random.default_rng(4)
+        n = 400_000
+        # Half the nonzeros form full 1x2 runs, half are scattered.
+        starts = rng.integers(0, n // 2 - 1, 150_000) * 2
+        run_rows = rng.integers(0, n, 150_000)
+        scat_rows = rng.integers(0, n, 300_000)
+        scat_cols = rng.integers(0, n, 300_000)
+        coo = COOMatrix(
+            n, n,
+            np.concatenate([run_rows, run_rows, scat_rows]),
+            np.concatenate([starts, starts + 1, scat_cols]),
+            None,
+        )
+        csr = build_format(coo, "csr", with_values=False)
+        dec = build_format(coo, "bcsr_dec", (1, 2), with_values=False)
+        assert len(dec.submatrices()) == 2
+        r_csr = simulate(csr, CORE2_XEON, "dp", "scalar")
+        r_dec = simulate(dec, CORE2_XEON, "dp", "scalar")
+        # Both layouts suffer irregular x re-fetches on this matrix ...
+        assert r_csr.x_misses > 0
+        assert r_dec.x_misses > 0
+        # ... and the DEC working set carries the second x/y walk.
+        per_pass_vectors = 8 * (coo.nrows + coo.ncols)
+        assert dec.working_set("dp") >= (
+            csr.working_set("dp") - 4 * coo.nnz + per_pass_vectors
+        )

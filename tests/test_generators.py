@@ -1,0 +1,181 @@
+"""Tests asserting each synthetic generator reproduces its structural class."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.matrices import analyze, block_fill, diag_fill, run_lengths
+from repro.matrices import generators as g
+
+
+class TestDense:
+    def test_full(self):
+        coo = g.dense(20)
+        assert coo.nnz == 400
+        assert block_fill(coo, 2, 4) == 1.0
+
+    def test_rectangular(self):
+        coo = g.dense(4, 7)
+        assert coo.shape == (4, 7)
+        assert coo.nnz == 28
+
+
+class TestRandomUniform:
+    def test_size_and_determinism(self):
+        a = g.random_uniform(1000, 1000, 5000, seed=1)
+        b = g.random_uniform(1000, 1000, 5000, seed=1)
+        assert a == b
+        assert a.nnz == 5000
+
+    def test_no_blockability(self):
+        coo = g.random_uniform(2000, 2000, 8000, seed=2)
+        assert block_fill(coo, 2, 2) < 0.3  # blocks are nearly all singletons
+
+    def test_different_seeds_differ(self):
+        assert g.random_uniform(100, 100, 300, seed=1) != g.random_uniform(
+            100, 100, 300, seed=2
+        )
+
+
+class TestGrids:
+    def test_grid2d_5pt_interior_degree(self):
+        coo = g.grid2d(10, 10, 5)
+        counts = coo.row_counts()
+        assert counts.max() == 5
+        assert counts.min() == 3  # corners
+
+    def test_grid2d_9pt(self):
+        coo = g.grid2d(8, 8, 9)
+        assert coo.row_counts().max() == 9
+
+    def test_grid2d_dof_blocks_perfectly_dense(self):
+        coo = g.grid2d(12, 12, 5, dof=3)
+        assert block_fill(coo, 3, 3) == 1.0  # the BCSR sweet spot
+
+    def test_grid2d_dof_shape(self):
+        coo = g.grid2d(6, 7, 5, dof=2)
+        assert coo.shape == (84, 84)
+
+    def test_grid3d_7pt_is_pure_diagonals(self):
+        coo = g.grid3d(8, 8, 8, 7)
+        offsets = np.unique(coo.cols - coo.rows)
+        assert set(offsets.tolist()) == {-64, -8, -1, 0, 1, 8, 64}
+
+    def test_grid3d_27pt_degree(self):
+        coo = g.grid3d(6, 6, 6, 27)
+        assert coo.row_counts().max() == 27
+
+    def test_grid_rejects_unknown_stencil(self):
+        with pytest.raises(FormatError):
+            g.grid2d(4, 4, 7)
+        with pytest.raises(FormatError):
+            g.grid3d(4, 4, 4, 9)
+
+    def test_symmetry(self):
+        coo = g.grid2d(9, 9, 5)
+        dense = np.zeros(coo.shape)
+        dense[coo.rows, coo.cols] = 1.0
+        np.testing.assert_array_equal(dense, dense.T)
+
+
+class TestPowerlaw:
+    def test_column_degrees_skewed(self):
+        coo = g.powerlaw_graph(20_000, 100_000, alpha=1.8, seed=3)
+        col_counts = np.bincount(coo.cols, minlength=coo.ncols)
+        top = np.sort(col_counts)[-20:]
+        # the hottest 20 columns hold far more than 20/n of the mass
+        assert top.sum() > 0.05 * coo.nnz
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(FormatError):
+            g.powerlaw_graph(100, 100, alpha=0.9)
+
+
+class TestCircuit:
+    def test_has_full_diagonal(self):
+        coo = g.circuit(5000, seed=4)
+        on_diag = (coo.rows == coo.cols).sum()
+        assert on_diag == 5000
+
+    def test_short_rows(self):
+        coo = g.circuit(20_000, avg_offdiag=2.0, seed=5)
+        stats = analyze(coo)
+        assert stats.row_mean < 8
+
+
+class TestLinearProgramming:
+    def test_wide_shape(self):
+        coo = g.linear_programming(1000, 5000, 8000, run_len=4, seed=6)
+        assert coo.shape == (1000, 5000)
+
+    def test_hyper_sparse_rows(self):
+        coo = g.linear_programming(50_000, 800, 30_000, run_len=1, seed=7)
+        assert coo.nnz < coo.nrows  # fewer nonzeros than rows (rail4284)
+
+    def test_runs_give_vbl_blocks(self):
+        coo = g.linear_programming(2000, 50_000, 40_000, run_len=8, seed=8)
+        assert run_lengths(coo).mean() > 4
+
+
+class TestClusteredRows:
+    def test_run_lengths_in_range(self):
+        coo = g.clustered_rows(3000, 3000, 40_000, (5, 10), seed=9)
+        runs = run_lengths(coo)
+        # merged/truncated runs shift the mean but it stays in the band
+        assert 3.0 < runs.mean() < 12.0
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(FormatError):
+            g.clustered_rows(100, 100, 1000, (5, 3))
+
+
+class TestDiagonalPattern:
+    def test_full_fill_perfect_bcsd(self):
+        coo = g.diagonal_pattern(1200, (0, 1, -1), fill=1.0)
+        assert diag_fill(coo, 4) > 0.98
+
+    def test_ragged_fill(self):
+        coo = g.diagonal_pattern(5000, (0, 7, -7), fill=0.9, seed=10)
+        assert 0.80 < diag_fill(coo, 4) < 0.99
+        assert block_fill(coo, 2, 2) < 0.5  # bad for rectangular blocks
+
+    def test_rejects_bad_fill(self):
+        with pytest.raises(FormatError):
+            g.diagonal_pattern(100, (0,), fill=0.0)
+
+
+class TestTransforms:
+    def test_shuffled_preserves_row_length_distribution(self):
+        mesh = g.grid2d(40, 40, 5)
+        perm = g.shuffled(mesh, seed=11)
+        assert perm.nnz == mesh.nnz
+        assert sorted(mesh.row_counts().tolist()) == sorted(
+            perm.row_counts().tolist()
+        )
+
+    def test_shuffled_destroys_runs(self):
+        mesh = g.grid2d(40, 40, 9)
+        perm = g.shuffled(mesh, seed=12)
+        assert run_lengths(perm).mean() < run_lengths(mesh).mean()
+
+    def test_partial_shuffle_preserves_bandwidth(self):
+        mesh = g.grid2d(60, 60, 5)
+        part = g.partially_shuffled(mesh, window=64, seed=13)
+        assert analyze(part).bandwidth <= analyze(mesh).bandwidth + 2 * 64
+
+    def test_expand_dof_counts(self):
+        rows, cols = g.expand_dof(np.array([0, 1]), np.array([1, 0]), 3)
+        assert rows.shape[0] == 2 * 9
+
+    def test_banded_random_band_dominates(self):
+        coo = g.banded_random(50_000, 300_000, bandwidth=500,
+                              local_fraction=0.8, seed=14)
+        near = (np.abs(coo.cols - coo.rows) <= 500).mean()
+        assert near > 0.7
+
+    def test_random_values_deterministic(self):
+        coo = g.grid2d(10, 10, 5)
+        a = g.random_values(coo, seed=15)
+        b = g.random_values(coo, seed=15)
+        assert a == b
+        assert a.has_values

@@ -1,0 +1,95 @@
+"""Tests for sweep harness internals and Table II config pools."""
+
+import pytest
+
+from repro.bench.experiments import _config_records, _model_selection
+from repro.bench.harness import MatrixSweep, SweepConfig, SweepRecord
+from repro.core import Candidate
+from repro.types import Impl
+
+
+def _rec(kind, block, impl, precision="dp", nthreads=1, t=1.0, preds=None):
+    return SweepRecord(
+        kind=kind, block=block, impl=impl, precision=precision,
+        nthreads=nthreads, t_real=t, t_mem=t * 0.8, t_comp=t * 0.3,
+        t_latency=0.0, ws_bytes=1000, padding_ratio=1.0, n_blocks=10,
+        predictions=preds or {},
+    )
+
+
+@pytest.fixture()
+def matrix_sweep():
+    m = MatrixSweep(
+        idx=1, name="t", domain="test", geometry=False, special=False,
+        nrows=10, ncols=10, nnz=50,
+    )
+    m.records = [
+        _rec("csr", None, "scalar", t=1.0,
+             preds={"mem": 1.0, "memcomp": 1.2, "overlap": 1.1}),
+        _rec("bcsr", (2, 2), "scalar", t=0.9,
+             preds={"mem": 0.8, "memcomp": 1.0, "overlap": 0.95}),
+        _rec("bcsr", (2, 2), "simd", t=0.85,
+             preds={"mem": 0.8, "memcomp": 0.9, "overlap": 0.84}),
+        _rec("vbl", None, "scalar", t=0.95, preds={"mem": 0.7}),
+        _rec("bcsr", (2, 2), "scalar", precision="sp", t=0.5,
+             preds={"mem": 0.4}),
+        _rec("bcsr", (2, 2), "scalar", nthreads=2, t=0.6),
+    ]
+    return m
+
+
+class TestSelect:
+    def test_filters_compose(self, matrix_sweep):
+        assert len(matrix_sweep.select(precision="dp", nthreads=1)) == 4
+        assert len(matrix_sweep.select(precision="sp")) == 1
+        assert len(matrix_sweep.select(nthreads=2)) == 1
+        assert len(matrix_sweep.select(impls=("simd",))) == 1
+        assert len(matrix_sweep.select(kinds=("csr", "vbl"))) == 2
+
+    def test_candidate_reconstruction(self, matrix_sweep):
+        rec = matrix_sweep.records[1]
+        cand = rec.candidate
+        assert cand == Candidate("bcsr", (2, 2), Impl.SCALAR)
+
+
+class TestConfigRecords:
+    def test_non_simd_pool_is_all_scalar(self, matrix_sweep):
+        pool = _config_records(matrix_sweep, "dp", simd=False)
+        assert {r.impl for r in pool} == {"scalar"}
+        assert {r.kind for r in pool} == {"csr", "bcsr", "vbl"}
+
+    def test_simd_pool_drops_vbl_and_uses_simd_blocks(self, matrix_sweep):
+        pool = _config_records(matrix_sweep, "dp", simd=True)
+        kinds = {(r.kind, r.impl) for r in pool}
+        assert ("csr", "scalar") in kinds
+        assert ("bcsr", "simd") in kinds
+        assert all(r.kind != "vbl" for r in pool)
+        assert all(r.impl == "simd" for r in pool if r.kind == "bcsr")
+
+
+class TestModelSelection:
+    def test_mem_restricted_to_scalar_and_no_vbl(self, matrix_sweep):
+        records = matrix_sweep.select(precision="dp", nthreads=1)
+        sel = _model_selection(records, "mem")
+        # VBL has the lowest mem prediction (0.7) but is excluded; the
+        # SIMD record is excluded for MEM too.
+        assert sel.kind == "bcsr"
+        assert sel.impl == "scalar"
+
+    def test_overlap_may_pick_simd(self, matrix_sweep):
+        records = matrix_sweep.select(precision="dp", nthreads=1)
+        sel = _model_selection(records, "overlap")
+        assert sel.impl == "simd"
+
+
+class TestSweepConfig:
+    def test_version_in_fingerprint(self):
+        a = SweepConfig(version=1).fingerprint()
+        b = SweepConfig(version=2).fingerprint()
+        assert a != b
+
+    def test_defaults(self):
+        cfg = SweepConfig()
+        assert cfg.precisions == ("sp", "dp")
+        assert cfg.thread_counts == (1, 2, 4)
+        assert cfg.max_block_elems == 8

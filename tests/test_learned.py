@@ -1,0 +1,121 @@
+"""Tests for the learned format selector (decision tree + features)."""
+
+import numpy as np
+import pytest
+
+from repro.core.learned import (
+    FEATURE_NAMES,
+    DecisionTree,
+    LearnedSelector,
+    extract_features,
+)
+from repro.errors import ModelError
+from repro.machine import CORE2_XEON
+from repro.matrices import generators as g
+
+
+class TestFeatures:
+    def test_vector_shape(self):
+        coo = g.grid2d(20, 20, 5)
+        feats = extract_features(coo, CORE2_XEON)
+        assert feats.shape == (len(FEATURE_NAMES),)
+        assert np.isfinite(feats).all()
+
+    def test_fem_features_show_blocks(self):
+        fem = g.grid2d(20, 20, 5, dof=3)
+        feats = dict(zip(FEATURE_NAMES, extract_features(fem, CORE2_XEON)))
+        assert feats["fill_3x3"] == 1.0
+        assert feats["mean_run_length"] >= 3.0
+
+    def test_random_features_show_no_blocks(self):
+        rnd = g.random_uniform(3000, 3000, 20_000, seed=1)
+        feats = dict(zip(FEATURE_NAMES, extract_features(rnd, CORE2_XEON)))
+        assert feats["fill_2x2"] < 0.35
+        assert feats["mean_run_length"] < 1.2
+
+    def test_x_footprint_ratio_scales_with_ncols(self):
+        small = g.random_uniform(2000, 2000, 10_000, seed=2)
+        big = g.random_uniform(800_000, 800_000, 10_000, seed=2)
+        f_small = extract_features(small, CORE2_XEON)
+        f_big = extract_features(big, CORE2_XEON)
+        idx = FEATURE_NAMES.index("x_footprint_ratio")
+        assert f_big[idx] > f_small[idx] * 100
+
+
+class TestDecisionTree:
+    def test_separable_data(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((200, 2))
+        y = ["a" if x[0] <= 0.5 else "b" for x in X]
+        tree = DecisionTree(max_depth=2).fit(X, y)
+        assert tree.predict([0.2, 0.9]) == "a"
+        assert tree.predict([0.8, 0.1]) == "b"
+
+    def test_two_level_split(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = ["a", "b", "b", "a"]  # XOR needs depth 2
+        tree = DecisionTree(max_depth=2, min_samples_leaf=1).fit(X, y)
+        assert [tree.predict(x) for x in X] == y
+
+    def test_depth_limit_yields_majority(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = ["a", "a", "a", "b"]
+        tree = DecisionTree(max_depth=0).fit(X, y)
+        assert all(tree.predict(x) == "a" for x in X)
+
+    def test_single_class(self):
+        X = np.zeros((5, 3))
+        y = ["only"] * 5
+        tree = DecisionTree().fit(X, y)
+        assert tree.predict(np.zeros(3)) == "only"
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            DecisionTree().predict(np.zeros(2))
+
+    def test_fit_validation(self):
+        with pytest.raises(ModelError):
+            DecisionTree().fit(np.zeros((3, 2)), ["a", "b"])
+        with pytest.raises(ModelError):
+            DecisionTree().fit(np.zeros((0, 2)), [])
+
+
+class TestLearnedSelector:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        """Train on synthetic archetypes of the three structural classes."""
+        selector = LearnedSelector(CORE2_XEON, min_samples_leaf=1)
+        builders = [
+            (lambda s: g.grid2d(30, 30, 5, dof=3, drop_fraction=0.2, seed=s),
+             "bcsr"),
+            (lambda s: g.random_uniform(4000, 4000, 24_000, seed=s), "csr"),
+            (lambda s: g.diagonal_pattern(
+                5000, (0, 1, -1, 40, -40), 0.95, seed=s), "bcsd"),
+        ]
+        feats, labels = [], []
+        for build, kind in builders:
+            for s in range(4):
+                feats.append(extract_features(build(s), CORE2_XEON))
+                labels.append(kind)
+        return selector.fit(np.array(feats), labels)
+
+    def test_classifies_held_out_matrices(self, trained):
+        assert trained.predict_kind(
+            g.grid2d(26, 26, 5, dof=3, drop_fraction=0.2, seed=99)
+        ) == "bcsr"
+        assert trained.predict_kind(
+            g.random_uniform(5000, 5000, 30_000, seed=99)
+        ) == "csr"
+        assert trained.predict_kind(
+            g.diagonal_pattern(6000, (0, 1, -1, 50, -50), 0.95, seed=99)
+        ) == "bcsd"
+
+    def test_select_returns_candidate_of_predicted_kind(self, trained):
+        coo = g.grid2d(30, 30, 5, dof=3, drop_fraction=0.2, seed=55)
+        result = trained.select(coo, "dp")
+        assert result.candidate.kind == "bcsr"
+
+    def test_unfitted_raises(self):
+        sel = LearnedSelector(CORE2_XEON)
+        with pytest.raises(ModelError):
+            sel.predict_kind(g.grid2d(5, 5, 5))

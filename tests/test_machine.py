@@ -1,0 +1,112 @@
+"""Tests for the MachineModel description."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.machine import CORE2_XEON, GENERIC_MODERN, CacheLevel, MachineModel, get_preset
+from repro.machine.costs import KernelCostModel
+from repro.types import Impl
+
+_GiB = 1024**3
+
+
+def _make_machine(**overrides):
+    base = dict(
+        name="test",
+        clock_hz=2e9,
+        l1=CacheLevel(32 * 1024, 64, 30e9),
+        l2=CacheLevel(4 * 1024 * 1024, 64, 12e9),
+        mem_bandwidth_bps={1: 3 * _GiB, 2: 4 * _GiB},
+        mem_latency_s=100e-9,
+        latency_hide=0.6,
+        eta_exposed={Impl.SCALAR: 0.35, Impl.SIMD: 0.3},
+        x_cache_fraction=0.5,
+        costs=KernelCostModel(),
+        max_threads=4,
+    )
+    base.update(overrides)
+    return MachineModel(**base)
+
+
+class TestBandwidthLookup:
+    def test_exact_counts(self):
+        m = _make_machine()
+        assert m.memory_bandwidth(1) == 3 * _GiB
+        assert m.memory_bandwidth(2) == 4 * _GiB
+
+    def test_saturation_fallback(self):
+        m = _make_machine()
+        assert m.memory_bandwidth(3) == 4 * _GiB  # largest below
+        assert m.memory_bandwidth(8) == 4 * _GiB
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ModelError):
+            _make_machine().memory_bandwidth(0)
+
+    def test_stream_bandwidth_tiers(self):
+        m = _make_machine()
+        assert m.stream_bandwidth(16 * 1024) == m.l1.bandwidth_bps
+        assert m.stream_bandwidth(1024 * 1024) == m.l2.bandwidth_bps
+        assert m.stream_bandwidth(64 * 1024 * 1024) == 3 * _GiB
+
+
+class TestValidation:
+    def test_rejects_bad_latency_hide(self):
+        with pytest.raises(ModelError):
+            _make_machine(latency_hide=1.5)
+
+    def test_rejects_missing_eta(self):
+        with pytest.raises(ModelError):
+            _make_machine(eta_exposed={Impl.SCALAR: 0.3})
+
+    def test_rejects_bad_x_fraction(self):
+        with pytest.raises(ModelError):
+            _make_machine(x_cache_fraction=0.0)
+
+    def test_rejects_empty_bandwidth(self):
+        with pytest.raises(ModelError):
+            _make_machine(mem_bandwidth_bps={})
+
+    def test_rejects_bad_cache(self):
+        with pytest.raises(ModelError):
+            CacheLevel(0, 64, 1e9)
+        with pytest.raises(ModelError):
+            CacheLevel(1024, 64, 0.0)
+
+
+class TestHelpers:
+    def test_effective_latency(self):
+        m = _make_machine()
+        assert m.effective_latency_s() == pytest.approx(40e-9)
+
+    def test_cycles_to_seconds(self):
+        m = _make_machine()
+        assert m.cycles_to_seconds(2e9) == pytest.approx(1.0)
+
+    def test_with_overrides(self):
+        m = _make_machine()
+        m2 = m.with_overrides(latency_hide=0.9)
+        assert m2.latency_hide == 0.9
+        assert m.latency_hide == 0.6  # original untouched
+        assert m2.name == m.name
+
+
+class TestPresets:
+    def test_core2_parameters_match_paper(self):
+        m = CORE2_XEON
+        assert m.clock_hz == pytest.approx(2.66e9)
+        assert m.l1.size_bytes == 32 * 1024
+        assert m.l2.size_bytes == 4 * 1024 * 1024
+        # STREAM figure from the paper: 3.36 GiB/s for one core.
+        assert m.memory_bandwidth(1) == pytest.approx(3.36 * _GiB)
+        assert m.max_threads == 4
+
+    def test_get_preset(self):
+        assert get_preset("core2-xeon-2.66") is CORE2_XEON
+        assert get_preset("generic-modern") is GENERIC_MODERN
+        with pytest.raises(KeyError):
+            get_preset("cray-1")
+
+    def test_modern_has_wider_simd(self):
+        assert GENERIC_MODERN.costs.simd_bytes == 32
+        assert GENERIC_MODERN.costs.lanes("sp") == 8

@@ -1,0 +1,126 @@
+"""Tests for Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixMarketError
+from repro.formats import COOMatrix
+from repro.matrices import read_matrix_market, write_matrix_market
+
+from .conftest import make_random_coo
+
+
+class TestRoundTrip:
+    def test_real_general(self, tmp_path):
+        coo = make_random_coo(12, 9, 40, seed=71)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, coo)
+        back = read_matrix_market(path)
+        assert back == coo
+
+    def test_pattern(self, tmp_path):
+        coo = make_random_coo(12, 9, 40, seed=72, with_values=False)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, coo)
+        back = read_matrix_market(path)
+        assert back == coo
+        assert back.values is None
+
+    def test_gzip(self, tmp_path):
+        coo = make_random_coo(8, 8, 20, seed=73)
+        path = tmp_path / "m.mtx.gz"
+        write_matrix_market(path, coo)
+        assert read_matrix_market(path) == coo
+
+    def test_values_preserved_exactly(self, tmp_path):
+        coo = COOMatrix(2, 2, [0, 1], [1, 0], [1.0 / 3.0, -2.5e-17])
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, coo)
+        np.testing.assert_array_equal(read_matrix_market(path).values,
+                                      coo.values)
+
+
+class TestReading:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "in.mtx"
+        p.write_text(text)
+        return p
+
+    def test_symmetric_expansion(self, tmp_path):
+        p = self._write(tmp_path, "\n".join([
+            "%%MatrixMarket matrix coordinate real symmetric",
+            "3 3 3",
+            "1 1 2.0",
+            "2 1 5.0",
+            "3 2 7.0",
+        ]))
+        coo = read_matrix_market(p)
+        dense = coo.to_dense()
+        assert dense[0, 1] == dense[1, 0] == 5.0
+        assert dense[1, 2] == dense[2, 1] == 7.0
+        assert coo.nnz == 5  # diagonal entry not mirrored
+
+    def test_skew_symmetric(self, tmp_path):
+        p = self._write(tmp_path, "\n".join([
+            "%%MatrixMarket matrix coordinate real skew-symmetric",
+            "2 2 1",
+            "2 1 3.0",
+        ]))
+        dense = read_matrix_market(p).to_dense()
+        assert dense[1, 0] == 3.0
+        assert dense[0, 1] == -3.0
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        p = self._write(tmp_path, "\n".join([
+            "%%MatrixMarket matrix coordinate integer general",
+            "% a comment",
+            "",
+            "2 2 1",
+            "% another",
+            "1 2 4",
+        ]))
+        coo = read_matrix_market(p)
+        assert coo.to_dense()[0, 1] == 4.0
+
+    def test_rejects_bad_header(self, tmp_path):
+        p = self._write(tmp_path, "not a header\n1 1 0\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(p)
+
+    def test_rejects_array_format(self, tmp_path):
+        p = self._write(tmp_path,
+                        "%%MatrixMarket matrix array real general\n2 2\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(p)
+
+    def test_rejects_complex_field(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+        )
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(p)
+
+    def test_rejects_truncated_file(self, tmp_path):
+        p = self._write(tmp_path, "\n".join([
+            "%%MatrixMarket matrix coordinate real general",
+            "2 2 2",
+            "1 1 1.0",
+        ]))
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(p)
+
+    def test_rejects_missing_value(self, tmp_path):
+        p = self._write(tmp_path, "\n".join([
+            "%%MatrixMarket matrix coordinate real general",
+            "2 2 1",
+            "1 1",
+        ]))
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(p)
+
+    def test_rejects_missing_size_line(self, tmp_path):
+        p = self._write(tmp_path,
+                        "%%MatrixMarket matrix coordinate real general\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(p)

@@ -1,0 +1,143 @@
+"""Tests for the MEM / MEMCOMP / OVERLAP performance models."""
+
+import pytest
+
+from repro.core import MODELS, get_model
+from repro.core.models import MemCompModel, MemModel, OverlapModel
+from repro.errors import ModelError
+from repro.formats import build_format
+from repro.matrices.generators import grid2d
+from repro.types import Impl
+
+
+@pytest.fixture(scope="module")
+def fem():
+    return grid2d(110, 110, 5, dof=3)
+
+
+class TestMemModel:
+    def test_is_exactly_ws_over_bw(self, fem, machine):
+        csr = build_format(fem, "csr", with_values=False)
+        pred = MemModel().predict(csr, machine, "dp")
+        assert pred == pytest.approx(
+            csr.working_set("dp") / machine.memory_bandwidth(1)
+        )
+
+    def test_impl_blind(self, fem, machine):
+        bcsr = build_format(fem, "bcsr", (3, 2), with_values=False)
+        m = MemModel()
+        assert m.predict(bcsr, machine, "dp", "scalar") == m.predict(
+            bcsr, machine, "dp", "simd"
+        )
+        assert not m.impl_aware
+
+    def test_applies_to_vbl(self, fem, machine):
+        vbl = build_format(fem, "vbl", with_values=False)
+        assert MemModel().predict(vbl, machine, "dp") > 0
+
+    def test_needs_no_profile(self):
+        assert not MemModel().requires_profile
+
+
+class TestMemCompModel:
+    def test_exceeds_mem(self, fem, machine, profile_dp):
+        """MEMCOMP adds the full compute term on top of MEM (eq. 2)."""
+        bcsr = build_format(fem, "bcsr", (3, 2), with_values=False)
+        mem = MemModel().predict(bcsr, machine, "dp")
+        memcomp = MemCompModel().predict(
+            bcsr, machine, "dp", "scalar", profile_dp
+        )
+        assert memcomp > mem
+
+    def test_decomposition_sums_parts(self, fem, machine, profile_dp):
+        dec = build_format(fem, "bcsr_dec", (3, 2), with_values=False)
+        pred = MemCompModel().predict(dec, machine, "dp", "scalar", profile_dp)
+        bw = machine.memory_bandwidth(1)
+        manual = 0.0
+        for part in dec.submatrices():
+            ws_i = part.working_set_matrix_only("dp") + part.vector_bytes("dp")
+            manual += ws_i / bw + part.n_blocks * profile_dp.block_time(
+                part, Impl.SCALAR
+            )
+        assert pred == pytest.approx(manual)
+
+    def test_requires_profile(self, fem, machine):
+        bcsr = build_format(fem, "bcsr", (2, 2), with_values=False)
+        with pytest.raises(ModelError):
+            MemCompModel().predict(bcsr, machine, "dp", "scalar", None)
+
+    def test_rejects_wrong_precision_profile(self, fem, machine, profile_sp):
+        bcsr = build_format(fem, "bcsr", (2, 2), with_values=False)
+        with pytest.raises(ModelError):
+            MemCompModel().predict(bcsr, machine, "dp", "scalar", profile_sp)
+
+    def test_rejects_vbl(self, fem, machine, profile_dp):
+        vbl = build_format(fem, "vbl", with_values=False)
+        with pytest.raises(ModelError):
+            MemCompModel().predict(vbl, machine, "dp", "scalar", profile_dp)
+
+
+class TestOverlapModel:
+    def test_between_mem_and_memcomp(self, fem, machine, profile_dp):
+        """With nof in [0, 1], OVERLAP sits between MEM and MEMCOMP —
+        the ordering Fig. 3 exhibits."""
+        for kind, block in [("csr", None), ("bcsr", (3, 2)), ("bcsd", 4)]:
+            fmt = build_format(fem, kind, block, with_values=False)
+            mem = MemModel().predict(fmt, machine, "dp")
+            memcomp = MemCompModel().predict(
+                fmt, machine, "dp", "scalar", profile_dp
+            )
+            overlap = OverlapModel().predict(
+                fmt, machine, "dp", "scalar", profile_dp
+            )
+            assert mem <= overlap <= memcomp * 1.0001
+
+    def test_simd_changes_prediction(self, fem, machine, profile_dp):
+        bcsr = build_format(fem, "bcsr", (3, 2), with_values=False)
+        m = OverlapModel()
+        scalar = m.predict(bcsr, machine, "dp", "scalar", profile_dp)
+        simd = m.predict(bcsr, machine, "dp", "simd", profile_dp)
+        assert scalar != simd
+
+    def test_csr_part_of_dec_stays_scalar(self, fem, machine, profile_dp):
+        """SIMD predictions for a decomposition use the scalar CSR t_b."""
+        dec = build_format(fem, "bcsr_dec", (3, 2), with_values=False)
+        pred = OverlapModel().predict(dec, machine, "dp", "simd", profile_dp)
+        assert pred > 0  # would raise if it looked up a SIMD CSR profile
+
+
+class TestRegistry:
+    def test_get_model(self):
+        assert isinstance(get_model("mem"), MemModel)
+        assert isinstance(get_model("MEMCOMP"), MemCompModel)
+        assert isinstance(get_model("overlap"), OverlapModel)
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelError):
+            get_model("oracle")
+
+    def test_registry_names(self):
+        assert set(MODELS) == {"mem", "memcomp", "overlap"}
+
+
+class TestPredictionQuality:
+    """Model-vs-simulator accuracy on a blockable mesh (Fig. 3 in miniature)."""
+
+    def test_overlap_most_accurate_on_fem(self, fem, machine, profile_dp):
+        from repro.machine import simulate
+
+        errors = {}
+        for name in ("mem", "memcomp", "overlap"):
+            model = get_model(name)
+            errs = []
+            for kind, block in [
+                ("csr", None), ("bcsr", (3, 2)), ("bcsr", (1, 4)),
+                ("bcsd", 3), ("bcsr_dec", (3, 2)),
+            ]:
+                fmt = build_format(fem, kind, block, with_values=False)
+                pred = model.predict(fmt, machine, "dp", "scalar", profile_dp)
+                real = simulate(fmt, machine, "dp", "scalar").t_total
+                errs.append(abs(pred - real) / real)
+            errors[name] = sum(errs) / len(errs)
+        assert errors["overlap"] < errors["memcomp"]
+        assert errors["overlap"] < 0.15  # the paper reports ~10%

@@ -1,0 +1,91 @@
+"""Tests for the t_b / nof profiling machinery (paper eq. 4 methodology)."""
+
+import pytest
+
+from repro.core.profiling import (
+    BlockProfile,
+    ProfileCache,
+    dense_coo,
+    profile_machine,
+)
+from repro.errors import ProfileError
+from repro.formats import BCSRMatrix, CSRMatrix
+from repro.types import Impl
+
+
+class TestDenseCoo:
+    def test_shape_and_count(self):
+        coo = dense_coo(5)
+        assert coo.nnz == 25
+        assert coo.shape == (5, 5)
+
+    def test_canonical_order(self):
+        coo = dense_coo(4)
+        assert coo.rows.tolist() == sorted(coo.rows.tolist())
+
+
+class TestProfileContents:
+    def test_covers_whole_fixed_size_space(self, profile_dp):
+        keys = set(profile_dp.t_b)
+        # CSR + 19 rectangular shapes x 2 impls + 7 diagonal sizes x 2 impls
+        assert (("csr", None), Impl.SCALAR) in keys
+        assert (("bcsr", (2, 2)), Impl.SCALAR) in keys
+        assert (("bcsr", (2, 2)), Impl.SIMD) in keys
+        assert (("bcsd", 8), Impl.SIMD) in keys
+        assert len(keys) == 1 + 19 * 2 + 7 * 2
+
+    def test_all_positive(self, profile_dp):
+        assert all(v > 0 for v in profile_dp.t_b.values())
+        assert all(v >= 0 for v in profile_dp.nof.values())
+
+    def test_nof_below_one(self, profile_dp):
+        """nof is the non-overlapped *fraction* of compute: on a streaming
+        dense profile it cannot plausibly exceed ~1."""
+        assert all(v <= 1.2 for v in profile_dp.nof.values())
+
+    def test_bigger_blocks_cost_more(self, profile_dp):
+        t = profile_dp.t_b
+        assert (
+            t[(("bcsr", (2, 4)), Impl.SCALAR)]
+            > t[(("bcsr", (1, 2)), Impl.SCALAR)]
+        )
+
+    def test_csr_element_cheaper_than_any_block(self, profile_dp):
+        t_elem = profile_dp.t_b[(("csr", None), Impl.SCALAR)]
+        t_blk = profile_dp.t_b[(("bcsr", (2, 2)), Impl.SCALAR)]
+        assert t_elem < t_blk  # one element vs a 4-element block
+
+    def test_lookup_helpers(self, profile_dp, small_coo):
+        csr = CSRMatrix.from_coo(small_coo, with_values=False)
+        assert profile_dp.block_time(csr, Impl.SCALAR) > 0
+        assert profile_dp.nof_factor(csr, Impl.SCALAR) >= 0
+
+    def test_lookup_missing_raises(self, profile_dp, small_coo):
+        bcsr = BCSRMatrix.from_coo(small_coo, (8, 8), with_values=False)
+        with pytest.raises(ProfileError):
+            profile_dp.block_time(bcsr, Impl.SCALAR)  # 64 elems: unprofiled
+
+    def test_precisions_differ(self, profile_dp, profile_sp):
+        key = (("bcsr", (2, 2)), Impl.SCALAR)
+        assert profile_dp.t_b[key] != profile_sp.t_b[key]
+
+
+class TestMethodologyGuards:
+    def test_small_profile_must_fit_l1(self, machine):
+        with pytest.raises(ProfileError):
+            profile_machine(machine, "dp", small_n=400)
+
+    def test_large_profile_must_exceed_l2(self, machine):
+        with pytest.raises(ProfileError):
+            profile_machine(machine, "dp", large_n=100)
+
+
+class TestProfileCache:
+    def test_caches_by_machine_and_precision(self, machine):
+        cache = ProfileCache()
+        a = cache.get(machine, "dp")
+        b = cache.get(machine, "dp")
+        c = cache.get(machine, "sp")
+        assert a is b
+        assert a is not c
+        assert isinstance(a, BlockProfile)

@@ -1,0 +1,108 @@
+"""Property-based tests over the machine layer and selection invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.learned import DecisionTree
+from repro.formats import COOMatrix, build_format
+from repro.machine import CORE2_XEON, simulate
+from repro.machine.cache import estimate_stream_misses
+
+
+class TestSimulatorProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(20, 120),
+        density=st.floats(0.01, 0.2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_total_dominates_components(self, seed, n, density):
+        rng = np.random.default_rng(seed)
+        nnz = max(int(n * n * density), 1)
+        coo = COOMatrix(
+            n, n, rng.integers(0, n, nnz), rng.integers(0, n, nnz), None
+        )
+        fmt = build_format(coo, "csr", with_values=False)
+        res = simulate(fmt, CORE2_XEON, "dp", "scalar")
+        assert res.t_total >= res.t_mem > 0
+        assert res.t_total >= res.t_comp_exposed >= 0
+        assert res.t_comp >= res.t_comp_exposed
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_threads_never_hurt_much(self, seed):
+        rng = np.random.default_rng(seed)
+        n, nnz = 3000, 30_000
+        coo = COOMatrix(
+            n, n, rng.integers(0, n, nnz), rng.integers(0, n, nnz), None
+        )
+        fmt = build_format(coo, "csr", with_values=False)
+        t1 = simulate(fmt, CORE2_XEON, "dp", "scalar", nthreads=1).t_total
+        t4 = simulate(fmt, CORE2_XEON, "dp", "scalar", nthreads=4).t_total
+        assert t4 <= t1 * 1.01
+
+    @given(
+        seed=st.integers(0, 500),
+        kind_block=st.sampled_from([
+            ("csr", None), ("bcsr", (2, 2)), ("bcsd", 3), ("vbl", None),
+        ]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sp_ws_strictly_smaller(self, seed, kind_block):
+        rng = np.random.default_rng(seed)
+        n, nnz = 100, 600
+        coo = COOMatrix(
+            n, n, rng.integers(0, n, nnz), rng.integers(0, n, nnz), None
+        )
+        kind, block = kind_block
+        fmt = build_format(coo, kind, block, with_values=False)
+        assert fmt.working_set("sp") < fmt.working_set("dp")
+
+
+class TestCacheEstimatorProperties:
+    @given(
+        seed=st.integers(0, 2000),
+        n_lines=st.integers(64, 4096),
+        length=st.integers(100, 20_000),
+        budget=st.integers(8, 1024),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_miss_count_bounds(self, seed, n_lines, length, budget):
+        rng = np.random.default_rng(seed)
+        lines = rng.integers(0, n_lines, length)
+        misses = estimate_stream_misses(lines, budget)
+        assert 0 <= misses <= length
+
+    @given(seed=st.integers(0, 2000), length=st.integers(10, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_single_line_never_misses(self, seed, length):
+        lines = np.zeros(length, dtype=np.int64)
+        assert estimate_stream_misses(lines, 4) == 0
+
+
+class TestDecisionTreeProperties:
+    @given(
+        seed=st.integers(0, 5000),
+        n=st.integers(4, 80),
+        d=st.integers(1, 6),
+        n_classes=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_predictions_from_label_set(self, seed, n, d, n_classes):
+        rng = np.random.default_rng(seed)
+        X = rng.random((n, d))
+        labels = [f"c{i}" for i in rng.integers(0, n_classes, n)]
+        tree = DecisionTree(max_depth=3).fit(X, labels)
+        for x in X[:10]:
+            assert tree.predict(x) in set(labels)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_perfectly_separable_is_learned(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 1, (60, 3))
+        y = ["lo" if x[1] < 0.5 else "hi" for x in X]
+        tree = DecisionTree(max_depth=3).fit(X, y)
+        correct = sum(tree.predict(x) == yy for x, yy in zip(X, y))
+        assert correct >= len(y) - 1  # allow one boundary tie

@@ -1,0 +1,92 @@
+"""Tests for the .npz format serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, build_format
+from repro.formats.serialize import load_format, save_format
+
+
+def make_coo(seed=51, n=48, m=40, nnz=360):
+    rng = np.random.default_rng(seed)
+    vals = rng.uniform(0.5, 2.0, nnz)
+    return COOMatrix(
+        n, m, rng.integers(0, n, nnz), rng.integers(0, m, nnz), vals
+    )
+
+
+ALL_KINDS = [
+    ("csr", None), ("bcsr", (2, 3)), ("bcsr_dec", (2, 2)),
+    ("bcsd", 4), ("bcsd_dec", 3), ("vbl", None), ("ubcsr", (3, 2)),
+    ("vbr", None), ("csr_du", None),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind,block", ALL_KINDS)
+    def test_values_and_behaviour_preserved(self, tmp_path, kind, block):
+        coo = make_coo()
+        fmt = build_format(coo, kind, block)
+        path = tmp_path / "fmt.npz"
+        save_format(path, fmt)
+        loaded = load_format(path)
+        assert type(loaded) is type(fmt)
+        assert loaded.shape == fmt.shape
+        assert loaded.nnz == fmt.nnz
+        assert loaded.nnz_stored == fmt.nnz_stored
+        x = np.random.default_rng(3).standard_normal(coo.ncols)
+        np.testing.assert_allclose(loaded.spmv(x), fmt.spmv(x))
+
+    def test_working_set_preserved(self, tmp_path):
+        coo = make_coo(seed=52)
+        fmt = build_format(coo, "bcsr", (2, 4))
+        path = tmp_path / "fmt.npz"
+        save_format(path, fmt)
+        loaded = load_format(path)
+        assert loaded.working_set("dp") == fmt.working_set("dp")
+        assert loaded.working_set("sp") == fmt.working_set("sp")
+
+    def test_structure_only_round_trip(self, tmp_path):
+        coo = make_coo(seed=53)
+        fmt = build_format(coo, "bcsr", (2, 2), with_values=False)
+        path = tmp_path / "s.npz"
+        save_format(path, fmt)
+        loaded = load_format(path)
+        assert not loaded.has_values
+        assert loaded.n_blocks == fmt.n_blocks
+
+    def test_coo_round_trip(self, tmp_path):
+        coo = make_coo(seed=54)
+        path = tmp_path / "coo.npz"
+        save_format(path, coo)
+        assert load_format(path) == coo
+
+    def test_decomposed_parts_preserved(self, tmp_path):
+        coo = make_coo(seed=55)
+        dec = build_format(coo, "bcsd_dec", 3)
+        path = tmp_path / "dec.npz"
+        save_format(path, dec)
+        loaded = load_format(path)
+        assert [p.kind for p in loaded.parts] == [p.kind for p in dec.parts]
+        np.testing.assert_allclose(loaded.to_dense(), dec.to_dense())
+
+
+class TestErrors:
+    def test_rejects_non_format_file(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, junk=np.arange(3))
+        with pytest.raises(FormatError):
+            load_format(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        import json
+
+        path = tmp_path / "v.npz"
+        meta = np.frombuffer(
+            json.dumps({"version": 999, "kind": "csr"}).encode(),
+            dtype=np.uint8,
+        )
+        np.savez(path, __meta__=meta)
+        with pytest.raises(FormatError):
+            load_format(path)

@@ -1,0 +1,185 @@
+"""Tests for the iterative solvers built on the SpMV formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError
+from repro.formats import COOMatrix, build_format
+from repro.matrices.generators import grid2d
+from repro.solvers import bicgstab, cg, jacobi, power_iteration
+
+
+def poisson_2d(nx: int, ny: int) -> COOMatrix:
+    """The standard SPD 5-point Laplacian on an nx x ny grid."""
+    stencil = grid2d(nx, ny, 5)
+    values = np.where(stencil.rows == stencil.cols, 4.0, -1.0)
+    return stencil.with_values(values)
+
+
+def diag_dominant(n: int, seed: int = 0) -> COOMatrix:
+    """A random strictly diagonally dominant matrix."""
+    rng = np.random.default_rng(seed)
+    k = n * 4
+    rows = rng.integers(0, n, k)
+    cols = rng.integers(0, n, k)
+    vals = rng.uniform(-1.0, 1.0, k)
+    coo = COOMatrix(n, n, rows, cols, vals)
+    # Overwrite the diagonal with a dominant value.
+    row_abs = np.zeros(n)
+    np.add.at(row_abs, coo.rows, np.abs(coo.values))
+    diag_idx = np.arange(n)
+    return COOMatrix(
+        n, n,
+        np.concatenate([coo.rows[coo.rows != coo.cols], diag_idx]),
+        np.concatenate([coo.cols[coo.rows != coo.cols], diag_idx]),
+        np.concatenate([coo.values[coo.rows != coo.cols], row_abs + 1.0]),
+    )
+
+
+@pytest.fixture(scope="module")
+def spd_system():
+    A = poisson_2d(18, 18)
+    rng = np.random.default_rng(1)
+    x_true = rng.standard_normal(A.nrows)
+    b = A.to_dense() @ x_true
+    return A, b, x_true
+
+
+class TestCG:
+    def test_solves_poisson(self, spd_system):
+        A, b, x_true = spd_system
+        csr = build_format(A, "csr")
+        res = cg(csr, b, tol=1e-10, max_iter=2000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    @pytest.mark.parametrize("kind,block", [
+        ("bcsr", (2, 2)), ("bcsr_dec", (2, 2)), ("bcsd", 3), ("vbl", None),
+    ])
+    def test_format_independent(self, spd_system, kind, block):
+        A, b, x_true = spd_system
+        fmt = build_format(A, kind, block)
+        res = cg(fmt, b, tol=1e-10, max_iter=2000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    def test_counts_spmv(self, spd_system):
+        A, b, _ = spd_system
+        res = cg(build_format(A, "csr"), b, tol=1e-10)
+        assert res.spmv_count == res.iterations + 1
+
+    def test_warm_start(self, spd_system):
+        A, b, x_true = spd_system
+        csr = build_format(A, "csr")
+        cold = cg(csr, b, tol=1e-10)
+        warm = cg(csr, b, x0=x_true + 1e-6, tol=1e-10)
+        assert warm.iterations < cold.iterations
+
+    def test_nonconvergence_reported(self, spd_system):
+        A, b, _ = spd_system
+        res = cg(build_format(A, "csr"), b, tol=1e-14, max_iter=2)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_rejects_rectangular(self):
+        A = COOMatrix(3, 4, [0], [0], [1.0])
+        with pytest.raises(ShapeMismatchError):
+            cg(A, np.ones(3))
+
+    def test_rejects_wrong_b(self, spd_system):
+        A, _, _ = spd_system
+        with pytest.raises(ShapeMismatchError):
+            cg(build_format(A, "csr"), np.ones(A.nrows + 1))
+
+
+class TestBiCGSTAB:
+    def test_solves_nonsymmetric(self):
+        A = diag_dominant(300, seed=2)
+        rng = np.random.default_rng(3)
+        x_true = rng.standard_normal(300)
+        b = A.to_dense() @ x_true
+        res = bicgstab(build_format(A, "csr"), b, tol=1e-12, max_iter=2000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    def test_two_spmv_per_iteration(self):
+        A = diag_dominant(120, seed=4)
+        b = np.ones(120)
+        res = bicgstab(build_format(A, "csr"), b, tol=1e-10)
+        assert res.spmv_count <= 2 * res.iterations + 1
+
+    def test_zero_rhs(self):
+        A = diag_dominant(50, seed=5)
+        res = bicgstab(build_format(A, "csr"), np.zeros(50))
+        assert res.converged
+        np.testing.assert_allclose(res.x, 0.0)
+
+
+class TestJacobi:
+    def test_solves_diagonally_dominant(self):
+        A = diag_dominant(200, seed=6)
+        rng = np.random.default_rng(7)
+        x_true = rng.standard_normal(200)
+        b = A.to_dense() @ x_true
+        res = jacobi(build_format(A, "csr"), b, tol=1e-12, max_iter=20_000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    def test_blocked_format(self):
+        A = diag_dominant(120, seed=8)
+        b = np.ones(120)
+        csr_res = jacobi(build_format(A, "csr"), b, tol=1e-10,
+                         max_iter=20_000)
+        bcsr_res = jacobi(build_format(A, "bcsr", (2, 2)), b, tol=1e-10,
+                          max_iter=20_000)
+        np.testing.assert_allclose(bcsr_res.x, csr_res.x, atol=1e-8)
+
+    def test_rejects_zero_diagonal(self):
+        A = COOMatrix(2, 2, [0, 1], [1, 0], [1.0, 1.0])
+        with pytest.raises(ShapeMismatchError):
+            jacobi(A, np.ones(2))
+
+
+class TestPowerIteration:
+    def test_dominant_eigenvalue(self):
+        dense = np.diag([5.0, 2.0, 1.0])
+        dense[0, 1] = 0.1
+        A = COOMatrix.from_dense(dense)
+        lam, v, iters = power_iteration(build_format(A, "csr"), tol=1e-12)
+        assert lam == pytest.approx(5.0, rel=1e-4)
+        assert abs(v[0]) > 0.99
+
+    def test_poisson_spectrum_bound(self, spd_system):
+        A, _, _ = spd_system
+        lam, _, _ = power_iteration(build_format(A, "csr"), tol=1e-10)
+        assert 4.0 < lam < 8.0  # Gershgorin bound for the 5-point Laplacian
+
+    def test_rejects_rectangular(self):
+        A = COOMatrix(3, 4, [0], [0], [1.0])
+        with pytest.raises(ShapeMismatchError):
+            power_iteration(A)
+
+
+class TestDiagonalExtraction:
+    """diagonal() on every format (used by Jacobi)."""
+
+    @pytest.mark.parametrize("kind,block", [
+        ("csr", None), ("bcsr", (2, 3)), ("bcsr_dec", (2, 2)),
+        ("bcsd", 4), ("bcsd_dec", 3), ("vbl", None), ("ubcsr", (3, 2)),
+        ("vbr", None),
+    ])
+    def test_matches_dense(self, kind, block):
+        rng = np.random.default_rng(9)
+        n = 50
+        coo = COOMatrix(
+            n, n, rng.integers(0, n, 400), rng.integers(0, n, 400),
+            rng.standard_normal(400),
+        )
+        fmt = build_format(coo, kind, block)
+        np.testing.assert_allclose(
+            fmt.diagonal(), np.diagonal(coo.to_dense())
+        )
+
+    def test_rectangular_diagonal(self):
+        coo = COOMatrix(3, 6, [0, 1, 2], [0, 1, 5], [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(coo.diagonal(), [1.0, 2.0, 0.0])

@@ -1,0 +1,70 @@
+"""Tests for the structural statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.matrices import analyze, block_fill, diag_fill, run_lengths
+from repro.matrices.generators import dense, grid2d
+
+
+class TestRunLengths:
+    def test_single_runs(self):
+        coo = COOMatrix(2, 10, [0, 0, 0, 1, 1], [2, 3, 7, 0, 1],
+                        np.ones(5))
+        assert sorted(run_lengths(coo).tolist()) == [1, 2, 2]
+
+    def test_empty(self):
+        assert run_lengths(COOMatrix(3, 3, [], [], [])).size == 0
+
+    def test_dense_row_single_run(self):
+        coo = dense(1, 50)
+        assert run_lengths(coo).tolist() == [50]
+
+
+class TestFills:
+    def test_dense_fill_is_one(self):
+        coo = dense(16)
+        assert block_fill(coo, 2, 2) == 1.0
+        assert block_fill(coo, 4, 2) == 1.0
+
+    def test_dense_diag_fill_edge_effect(self):
+        """Edge diagonals of a dense matrix are partial, so the diagonal
+        fill approaches 1 only as n grows."""
+        assert diag_fill(dense(16), 4) == pytest.approx(64 / 76)
+        assert diag_fill(dense(64), 4) > 0.94
+
+    def test_diagonal_fill(self):
+        n = 32
+        coo = COOMatrix(n, n, np.arange(n), np.arange(n), None)
+        assert diag_fill(coo, 4) == 1.0
+        assert block_fill(coo, 2, 2) == 0.5  # two diag elems per 2x2 block
+
+    def test_empty_matrix_fill(self):
+        coo = COOMatrix(8, 8, [], [], None)
+        assert block_fill(coo, 2, 2) == 1.0
+        assert diag_fill(coo, 2) == 1.0
+
+
+class TestAnalyze:
+    def test_mesh_statistics(self):
+        coo = grid2d(20, 20, 5)
+        s = analyze(coo)
+        assert s.nrows == s.ncols == 400
+        assert s.row_max == 5
+        assert s.row_min == 3
+        assert s.empty_rows == 0
+        assert s.bandwidth == 20
+        assert 0 < s.density < 0.02
+
+    def test_fem_blockability_visible(self):
+        s = analyze(grid2d(10, 10, 5, dof=3))
+        assert s.fill_3x3 == 1.0
+        assert s.fill_2x2 < 1.0
+
+    def test_empty_matrix(self):
+        s = analyze(COOMatrix(4, 4, [], [], None))
+        assert s.nnz == 0
+        assert s.density == 0.0
+        assert s.row_mean == 0.0
+        assert s.empty_rows == 4

@@ -1,0 +1,71 @@
+"""Tests for the 30-matrix suite definition (builds only a few entries)."""
+
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.matrices import SUITE, entry_names, get_entry
+
+
+class TestSuiteMetadata:
+    def test_thirty_entries(self):
+        assert len(SUITE) == 30
+        assert [e.idx for e in SUITE] == list(range(1, 31))
+
+    def test_names_unique(self):
+        names = entry_names()
+        assert len(set(names)) == 30
+
+    def test_specials_are_first_two(self):
+        assert SUITE[0].special and SUITE[0].name == "dense"
+        assert SUITE[1].special and SUITE[1].name == "random"
+        assert not any(e.special for e in SUITE[2:])
+
+    def test_geometry_split_matches_paper(self):
+        """#3-#16 without 2D/3D geometry, #17-#30 with."""
+        for e in SUITE:
+            if 3 <= e.idx <= 16:
+                assert not e.geometry, e.name
+            elif e.idx >= 17:
+                assert e.geometry, e.name
+
+    def test_paper_metadata_present(self):
+        for e in SUITE:
+            assert e.paper_rows > 0
+            assert e.paper_nnz > 0
+            assert e.paper_ws_mib > 0
+
+    def test_get_entry_by_name_and_idx(self):
+        assert get_entry("pwtk").idx == 27
+        assert get_entry(27).name == "pwtk"
+        with pytest.raises(KeyError):
+            get_entry("does-not-exist")
+
+
+class TestSuiteBuilds:
+    """Build a representative subset (full builds are exercised by the
+    sweep harness and Table I bench)."""
+
+    @pytest.mark.parametrize("name", ["dense", "fdiff", "pwtk", "stomach"])
+    def test_builds_and_exceeds_cache(self, name):
+        entry = get_entry(name)
+        coo = entry.build()
+        ws = CSRMatrix.from_coo(coo, with_values=False).working_set("sp")
+        assert ws > 4 * 2**20  # larger than the simulated L2
+
+    def test_deterministic_rebuild(self):
+        a = get_entry("stomach").build()
+        b = get_entry("stomach").build()
+        assert a.nnz == b.nnz
+        assert (a.rows[:100] == b.rows[:100]).all()
+
+    def test_structural_classes(self):
+        from repro.matrices import block_fill, diag_fill
+
+        fdiff = get_entry("fdiff").build()
+        assert diag_fill(fdiff, 4) > 0.9  # pure diagonals: BCSD territory
+
+        pwtk = get_entry("pwtk").build()
+        assert block_fill(pwtk, 6, 6) == 1.0  # 6-dof node blocks
+
+        random = get_entry("random").build()
+        assert block_fill(random, 2, 2) < 0.3

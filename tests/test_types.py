@@ -1,0 +1,66 @@
+"""Tests for repro.types."""
+
+import numpy as np
+import pytest
+
+from repro.types import BlockShape, Impl, Precision
+
+
+class TestPrecision:
+    def test_itemsize(self):
+        assert Precision.SP.itemsize == 4
+        assert Precision.DP.itemsize == 8
+
+    def test_dtype(self):
+        assert Precision.SP.dtype == np.float32
+        assert Precision.DP.dtype == np.float64
+
+    @pytest.mark.parametrize("value,expected", [
+        ("sp", Precision.SP),
+        ("dp", Precision.DP),
+        ("SP", Precision.SP),
+        (Precision.DP, Precision.DP),
+    ])
+    def test_coerce(self, value, expected):
+        assert Precision.coerce(value) is expected
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Precision.coerce("half")
+
+    def test_is_str_enum(self):
+        assert Precision.SP == "sp"
+        assert Precision.DP.value == "dp"
+
+
+class TestImpl:
+    def test_coerce(self):
+        assert Impl.coerce("scalar") is Impl.SCALAR
+        assert Impl.coerce("SIMD") is Impl.SIMD
+        assert Impl.coerce(Impl.SCALAR) is Impl.SCALAR
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Impl.coerce("avx512")
+
+
+class TestBlockShape:
+    def test_elems(self):
+        assert BlockShape(2, 3).elems == 6
+        assert BlockShape(1, 1).elems == 1
+
+    def test_iter_unpacks(self):
+        r, c = BlockShape(4, 2)
+        assert (r, c) == (4, 2)
+
+    def test_str(self):
+        assert str(BlockShape(2, 4)) == "2x4"
+
+    @pytest.mark.parametrize("r,c", [(0, 1), (1, 0), (-1, 2)])
+    def test_rejects_nonpositive(self, r, c):
+        with pytest.raises(ValueError):
+            BlockShape(r, c)
+
+    def test_ordering_and_hash(self):
+        assert BlockShape(1, 2) < BlockShape(2, 2)
+        assert len({BlockShape(2, 2), BlockShape(2, 2)}) == 1

@@ -1,0 +1,116 @@
+"""Tests for the UBCSR and VBR extension formats."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    BCSRMatrix,
+    COOMatrix,
+    UBCSRMatrix,
+    VBRMatrix,
+)
+from repro.formats.vbr import pattern_partition
+
+from .conftest import make_random_coo
+
+
+class TestUBCSR:
+    @pytest.mark.parametrize("r,c", [(1, 3), (2, 2), (3, 2), (2, 4)])
+    def test_spmv_matches_reference(self, r, c, small_coo, small_x):
+        ub = UBCSRMatrix.from_coo(small_coo, (r, c))
+        np.testing.assert_allclose(
+            ub.spmv(small_x), small_coo.to_dense() @ small_x
+        )
+
+    def test_never_pads_more_than_bcsr(self, small_coo):
+        """Relaxing column alignment can only reduce the block count."""
+        for block in [(1, 4), (2, 2), (2, 3)]:
+            ub = UBCSRMatrix.from_coo(small_coo, block, with_values=False)
+            bc = BCSRMatrix.from_coo(small_coo, block, with_values=False)
+            assert ub.n_blocks <= bc.n_blocks
+
+    def test_unaligned_run_is_one_block(self):
+        """A run starting at an odd column fits one unaligned 1x4 block
+        where aligned BCSR needs two."""
+        coo = COOMatrix(1, 8, [0, 0, 0, 0], [3, 4, 5, 6], [1.0] * 4)
+        ub = UBCSRMatrix.from_coo(coo, (1, 4))
+        bc = BCSRMatrix.from_coo(coo, (1, 4))
+        assert ub.n_blocks == 1
+        assert bc.n_blocks == 2
+
+    def test_blocks_do_not_overlap_within_band(self):
+        coo = make_random_coo(24, 40, 140, seed=31, with_values=False)
+        ub = UBCSRMatrix.from_coo(coo, (2, 3), with_values=False)
+        brows = ub.block_rows_of_blocks()
+        for band in range(ub.n_block_rows):
+            starts = np.sort(ub.bcol_start[brows == band])
+            assert np.all(np.diff(starts) >= 3)
+
+    def test_to_dense_round_trip(self, small_coo):
+        ub = UBCSRMatrix.from_coo(small_coo, (2, 2))
+        np.testing.assert_allclose(ub.to_dense(), small_coo.to_dense())
+
+    def test_working_set(self, small_coo):
+        ub = UBCSRMatrix.from_coo(small_coo, (2, 2))
+        nb = ub.n_blocks
+        expected = 8 * nb * 4 + 4 * nb + 4 * (ub.n_block_rows + 1) + 8 * 105
+        assert ub.working_set("dp") == expected
+
+
+class TestPatternPartition:
+    def test_identical_rows_group(self):
+        # rows 0 and 1 identical, row 2 different.
+        ptr = np.array([0, 2, 4, 5])
+        idx = np.array([1, 3, 1, 3, 0])
+        bounds = pattern_partition(ptr, idx, 3)
+        assert bounds.tolist() == [0, 2, 3]
+
+    def test_all_distinct(self):
+        ptr = np.array([0, 1, 2])
+        idx = np.array([0, 1])
+        assert pattern_partition(ptr, idx, 2).tolist() == [0, 1, 2]
+
+    def test_equal_length_different_content(self):
+        ptr = np.array([0, 2, 4])
+        idx = np.array([0, 1, 0, 2])
+        assert pattern_partition(ptr, idx, 2).tolist() == [0, 1, 2]
+
+    def test_empty(self):
+        assert pattern_partition(np.array([0]), np.empty(0, dtype=int), 0).tolist() == [0]
+
+
+class TestVBR:
+    def test_spmv_matches_reference(self, small_coo, small_x):
+        vbr = VBRMatrix.from_coo(small_coo)
+        np.testing.assert_allclose(
+            vbr.spmv(small_x), small_coo.to_dense() @ small_x
+        )
+
+    def test_blocked_structure_on_fem_pattern(self):
+        """dof-expanded meshes have runs of identical rows -> real blocks."""
+        from repro.matrices.generators import grid2d, random_values
+
+        coo = random_values(grid2d(6, 6, 5, dof=3), seed=1)
+        vbr = VBRMatrix.from_coo(coo)
+        assert vbr.n_block_rows < coo.nrows  # rows actually grouped
+        assert vbr.nnz_stored == coo.nnz     # fully dense blocks, no padding
+        x = np.random.default_rng(2).standard_normal(coo.ncols)
+        np.testing.assert_allclose(vbr.spmv(x), coo.to_dense() @ x)
+
+    def test_no_padding(self, small_coo):
+        vbr = VBRMatrix.from_coo(small_coo)
+        assert vbr.padding == 0
+
+    def test_to_dense_round_trip(self, small_coo):
+        vbr = VBRMatrix.from_coo(small_coo)
+        np.testing.assert_allclose(vbr.to_dense(), small_coo.to_dense())
+
+    def test_indx_brackets_val(self, small_coo):
+        vbr = VBRMatrix.from_coo(small_coo)
+        assert vbr.indx[0] == 0
+        assert vbr.indx[-1] == vbr.val.shape[0]
+        assert np.all(np.diff(vbr.indx) > 0)
+
+    def test_empty_matrix(self):
+        vbr = VBRMatrix.from_coo(COOMatrix(3, 3, [], [], []))
+        np.testing.assert_array_equal(vbr.spmv(np.ones(3)), np.zeros(3))

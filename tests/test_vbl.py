@@ -1,0 +1,145 @@
+"""Tests for the 1D-VBL format (variable-length horizontal blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, VBLMatrix
+from repro.kernels import spmv_vbl_scalar
+from repro.types import VBL_MAX_BLOCK
+
+from .conftest import make_random_coo
+
+
+class TestBlockDetection:
+    def test_consecutive_run_is_one_block(self):
+        coo = COOMatrix(1, 10, [0, 0, 0], [3, 4, 5], [1.0, 2.0, 3.0])
+        vbl = VBLMatrix.from_coo(coo)
+        assert vbl.n_blocks == 1
+        assert vbl.blk_size.tolist() == [3]
+        assert vbl.bcol_ind.tolist() == [3]
+
+    def test_gap_splits_blocks(self):
+        coo = COOMatrix(1, 10, [0, 0, 0], [1, 2, 5], [1.0, 2.0, 3.0])
+        vbl = VBLMatrix.from_coo(coo)
+        assert vbl.n_blocks == 2
+        assert vbl.blk_size.tolist() == [2, 1]
+
+    def test_row_change_splits_blocks(self):
+        coo = COOMatrix(2, 4, [0, 1], [3, 0], [1.0, 2.0])
+        vbl = VBLMatrix.from_coo(coo)
+        assert vbl.n_blocks == 2
+
+    def test_wraparound_is_not_a_run(self):
+        """Last column of row i followed by column 0 of row i+1 must split."""
+        coo = COOMatrix(2, 4, [0, 1], [3, 0], [1.0, 2.0])
+        vbl = VBLMatrix.from_coo(coo)
+        assert vbl.blk_size.tolist() == [1, 1]
+
+    def test_long_run_split_at_255(self):
+        n = 600
+        coo = COOMatrix(1, n, np.zeros(n, dtype=int), np.arange(n),
+                        np.ones(n))
+        vbl = VBLMatrix.from_coo(coo)
+        assert vbl.n_blocks == 3
+        assert vbl.blk_size.tolist() == [255, 255, 90]
+        assert vbl.blk_size.dtype == np.uint8
+        assert int(vbl.blk_size.astype(int).max()) <= VBL_MAX_BLOCK
+
+    def test_no_padding_ever(self, small_coo):
+        vbl = VBLMatrix.from_coo(small_coo)
+        assert vbl.padding == 0
+        assert vbl.nnz_stored == small_coo.nnz
+
+    def test_empty_matrix(self):
+        vbl = VBLMatrix.from_coo(COOMatrix(3, 3, [], [], []))
+        assert vbl.n_blocks == 0
+        np.testing.assert_array_equal(vbl.spmv(np.ones(3)), np.zeros(3))
+
+
+class TestAccounting:
+    def test_working_set_one_byte_sizes(self, small_coo):
+        vbl = VBLMatrix.from_coo(small_coo)
+        nb = vbl.n_blocks
+        e = 8
+        expected = (
+            e * vbl.nnz            # val
+            + 4 * nb               # bcol_ind
+            + 1 * nb               # blk_size (one byte each)
+            + 4 * (vbl.nrows + 1)  # row_ptr
+            + e * (vbl.ncols + vbl.nrows)
+        )
+        assert vbl.working_set("dp") == expected
+
+    def test_value_offsets(self):
+        coo = COOMatrix(1, 10, [0] * 5, [0, 1, 2, 5, 6],
+                        [1.0, 2.0, 3.0, 4.0, 5.0])
+        vbl = VBLMatrix.from_coo(coo)
+        assert vbl.value_offsets().tolist() == [0, 3]
+
+    def test_rows_of_blocks(self, small_coo):
+        vbl = VBLMatrix.from_coo(small_coo)
+        rows = vbl.rows_of_blocks()
+        assert rows.shape[0] == vbl.n_blocks
+        assert np.all(np.diff(rows) >= 0)
+
+
+class TestSpmv:
+    def test_matches_dense_reference(self, small_coo, small_x):
+        vbl = VBLMatrix.from_coo(small_coo)
+        np.testing.assert_allclose(
+            vbl.spmv(small_x), small_coo.to_dense() @ small_x
+        )
+
+    def test_scalar_kernel_matches(self, small_coo, small_x):
+        vbl = VBLMatrix.from_coo(small_coo)
+        out = np.zeros(vbl.nrows)
+        spmv_vbl_scalar(vbl, small_x, out)
+        np.testing.assert_allclose(out, vbl.spmv(small_x))
+
+    def test_dense_matrix_long_blocks(self):
+        rng = np.random.default_rng(1)
+        dense = rng.standard_normal((8, 300))
+        coo = COOMatrix.from_dense(dense)
+        vbl = VBLMatrix.from_coo(coo)
+        x = rng.standard_normal(300)
+        np.testing.assert_allclose(vbl.spmv(x), dense @ x)
+
+    def test_to_dense_round_trip(self, small_coo):
+        vbl = VBLMatrix.from_coo(small_coo)
+        np.testing.assert_allclose(vbl.to_dense(), small_coo.to_dense())
+
+
+class TestValidation:
+    def test_rejects_oversized_block(self):
+        with pytest.raises(FormatError):
+            VBLMatrix(
+                1, 300,
+                row_ptr=np.array([0, 256]),
+                bcol_ind=np.array([0]),
+                blk_size=np.array([256]),
+                block_row_ptr=np.array([0, 1]),
+                values=np.ones(256),
+            )
+
+    def test_rejects_size_sum_mismatch(self):
+        with pytest.raises(FormatError):
+            VBLMatrix(
+                1, 10,
+                row_ptr=np.array([0, 3]),
+                bcol_ind=np.array([0]),
+                blk_size=np.array([2], dtype=np.uint8),
+                block_row_ptr=np.array([0, 1]),
+                values=np.ones(3),
+            )
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(FormatError):
+            VBLMatrix(
+                1, 10,
+                row_ptr=np.array([0, 0]),
+                bcol_ind=np.array([0]),
+                blk_size=np.array([0], dtype=np.uint8),
+                block_row_ptr=np.array([0, 1]),
+                values=np.empty(0),
+            )
