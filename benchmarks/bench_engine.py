@@ -1,0 +1,54 @@
+"""Shard-throughput scaling of the sweep execution engine.
+
+Runs the same small suite subset through the engine at jobs ∈ {1, 2, 4}
+with a fresh shard store each round, and reports shards/second.  On a
+multi-core box the jobs=2/4 rounds should approach linear scaling (the
+shards are embarrassingly parallel and >95% of the time is spent inside
+the worker); on a single-core box they document the pool's overhead
+instead.  A final round measures the resume fast path (all shards served
+from the store) — it should be orders of magnitude faster than computing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SweepConfig
+from repro.engine import SweepEngine
+
+#: dense + pwtk: the two cheapest-to-build suite matrices, reduced config.
+ENGINE_CONFIG = SweepConfig(
+    precisions=("dp",),
+    thread_counts=(1,),
+    max_block_elems=4,
+    suite_indices=(1, 27),
+)
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_engine_shard_throughput(benchmark, tmp_path, jobs):
+    def run():
+        engine = SweepEngine(
+            ENGINE_CONFIG, cache_dir=tmp_path, jobs=jobs, resume=False
+        )
+        return engine.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.missing == []
+    n_shards = len(result.matrices)
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["shards_per_s"] = round(
+        n_shards / benchmark.stats["mean"], 3
+    )
+
+
+def test_engine_resume_fast_path(benchmark, tmp_path):
+    """Assembling a sweep purely from completed shards (zero compute)."""
+    SweepEngine(ENGINE_CONFIG, cache_dir=tmp_path, jobs=1).run()
+
+    def resume():
+        return SweepEngine(ENGINE_CONFIG, cache_dir=tmp_path, jobs=1).run()
+
+    result = benchmark(resume)
+    assert result.missing == []
+    assert len(result.matrices) == 2

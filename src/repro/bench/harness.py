@@ -6,23 +6,31 @@ and padding, and — for the single-threaded runs — the prediction of each
 performance model.  Every table and figure of the paper is a projection of
 this dataset, so it is computed once and cached as JSON under
 ``.repro_cache/`` (keyed by a fingerprint of the configuration).
+
+Execution is delegated to :mod:`repro.engine`: the sweep is decomposed
+into per-matrix *shards* that run across a worker pool, each persisted
+atomically so an interrupted sweep resumes from where it stopped.  The
+monolithic cache file kept here is a read-through fast path assembled
+from the shards once a sweep completes.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import os
 import time
 from dataclasses import asdict, dataclass, field
 from hashlib import sha256
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..core.candidates import Candidate, candidate_space
 from ..core.profiling import ProfileCache
 from ..core.selection import evaluate_candidates
 from ..machine.machine import MachineModel
 from ..machine.presets import get_preset
-from ..matrices.suite import SUITE, SuiteEntry
+from ..matrices.suite import SUITE, SuiteEntry, get_entry
 from ..types import Impl, Precision
 
 __all__ = [
@@ -30,17 +38,40 @@ __all__ = [
     "SweepRecord",
     "MatrixSweep",
     "SweepResult",
+    "sweep_matrix",
+    "matrix_sweep_from_payload",
+    "atomic_write_json",
     "run_sweep",
     "load_or_run_sweep",
     "DEFAULT_CACHE_DIR",
 ]
 
+logger = logging.getLogger(__name__)
+
 #: Bump when the simulator, the cost tables or the suite change meaningfully.
-SWEEP_VERSION = 9
+SWEEP_VERSION = 10
 
 DEFAULT_CACHE_DIR = Path(".repro_cache")
 
 MODEL_NAMES = ("mem", "memcomp", "overlap")
+
+#: Exceptions that mark a cache file as corrupt (truncated write, schema
+#: drift, hand-edited JSON) rather than as a programming error.
+CACHE_DECODE_ERRORS = (json.JSONDecodeError, KeyError, TypeError, ValueError)
+
+
+def atomic_write_json(path: str | Path, payload: object) -> None:
+    """Write ``payload`` as JSON atomically (tmp file + ``os.replace``).
+
+    A crash mid-write leaves at worst a stale ``*.tmp`` file next to the
+    target, never a truncated target: readers see either the old content
+    or the new one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
 
 
 @dataclass(frozen=True)
@@ -51,11 +82,21 @@ class SweepConfig:
     precisions: tuple[str, ...] = ("sp", "dp")
     thread_counts: tuple[int, ...] = (1, 2, 4)
     max_block_elems: int = 8
+    #: Restrict the sweep to these 1-based suite indices (``None`` = all
+    #: 30 matrices).  Part of the fingerprint: a subset sweep caches
+    #: separately from the full one.
+    suite_indices: tuple[int, ...] | None = None
     version: int = SWEEP_VERSION
 
     def fingerprint(self) -> str:
         payload = json.dumps(asdict(self), sort_keys=True)
         return sha256(payload.encode()).hexdigest()[:16]
+
+    def entries(self) -> tuple[SuiteEntry, ...]:
+        """The suite entries this config sweeps, in suite order."""
+        if self.suite_indices is None:
+            return SUITE
+        return tuple(get_entry(i) for i in self.suite_indices)
 
 
 @dataclass
@@ -116,13 +157,38 @@ class MatrixSweep:
         return out
 
 
+def matrix_sweep_from_payload(payload: Mapping) -> MatrixSweep:
+    """Rebuild a :class:`MatrixSweep` from its JSON (``asdict``) form."""
+    m = dict(payload)
+    records = [
+        SweepRecord(**{
+            **r,
+            "block": tuple(r["block"])
+            if isinstance(r["block"], list)
+            else r["block"],
+        })
+        for r in m.pop("records")
+    ]
+    return MatrixSweep(records=records, **m)
+
+
+def _config_from_payload(payload: Mapping) -> SweepConfig:
+    return SweepConfig(**{
+        k: tuple(v) if isinstance(v, list) else v
+        for k, v in payload.items()
+    })
+
+
 @dataclass
 class SweepResult:
-    """A full sweep over the suite."""
+    """A full (or, after quarantines, partial) sweep over the suite."""
 
     config: SweepConfig
     matrices: list[MatrixSweep]
     elapsed_s: float
+    #: Suite indices whose shard was quarantined after repeated failures.
+    #: Empty for a complete sweep.
+    missing: list[int] = field(default_factory=list)
 
     def matrix(self, name_or_idx: str | int) -> MatrixSweep:
         for m in self.matrices:
@@ -132,102 +198,133 @@ class SweepResult:
 
     # -------------------------- persistence -------------------------- #
     def save(self, path: str | Path) -> None:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "config": asdict(self.config),
             "elapsed_s": self.elapsed_s,
+            "missing": list(self.missing),
             "matrices": [asdict(m) for m in self.matrices],
         }
-        path.write_text(json.dumps(payload))
+        atomic_write_json(path, payload)
 
     @classmethod
     def load(cls, path: str | Path) -> "SweepResult":
         payload = json.loads(Path(path).read_text())
-        config = SweepConfig(**{
-            k: tuple(v) if isinstance(v, list) else v
-            for k, v in payload["config"].items()
-        })
-        matrices = []
-        for m in payload["matrices"]:
-            records = [
-                SweepRecord(**{
-                    **r,
-                    "block": tuple(r["block"])
-                    if isinstance(r["block"], list)
-                    else r["block"],
-                })
-                for r in m.pop("records")
-            ]
-            matrices.append(MatrixSweep(records=records, **m))
-        return cls(config=config, matrices=matrices,
-                   elapsed_s=payload["elapsed_s"])
+        return cls(
+            config=_config_from_payload(payload["config"]),
+            matrices=[
+                matrix_sweep_from_payload(m) for m in payload["matrices"]
+            ],
+            elapsed_s=payload["elapsed_s"],
+            missing=list(payload.get("missing", ())),
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization of the sweep *data*.
+
+        Excludes ``elapsed_s`` (volatile wall-clock timing), so two sweeps
+        of the same config are byte-identical here regardless of worker
+        count or scheduling order.
+        """
+        payload = {
+            "config": asdict(self.config),
+            "missing": list(self.missing),
+            "matrices": [asdict(m) for m in self.matrices],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def run_sweep(
-    entries: Iterable[SuiteEntry] = SUITE,
+def sweep_matrix(
+    entry: SuiteEntry,
     config: SweepConfig = SweepConfig(),
     *,
     machine: MachineModel | None = None,
-    progress: bool = False,
-) -> SweepResult:
-    """Run the full sweep (no caching; see :func:`load_or_run_sweep`)."""
+    profile_cache: ProfileCache | None = None,
+) -> MatrixSweep:
+    """Sweep every candidate over one suite matrix (one engine shard).
+
+    Deterministic in ``(entry, config)``: the record order and every value
+    are identical no matter which process or worker runs it — the property
+    the engine's parallel path relies on.
+    """
     machine = machine if machine is not None else get_preset(config.machine_name)
-    profile_cache = ProfileCache()
+    profile_cache = profile_cache if profile_cache is not None else ProfileCache()
     candidates = candidate_space(max_block_elems=config.max_block_elems)
     # The multicore experiment drops 1D-VBL, as the paper does ("we have
     # chosen not to implement a multithreaded version of 1D-VBL").
     mt_candidates = tuple(c for c in candidates if c.kind != "vbl")
 
+    coo = entry.build()
+    sweep = MatrixSweep(
+        idx=entry.idx,
+        name=entry.name,
+        domain=entry.domain,
+        geometry=entry.geometry,
+        special=entry.special,
+        nrows=coo.nrows,
+        ncols=coo.ncols,
+        nnz=coo.nnz,
+    )
+    fmt_cache: dict = {}
+    for precision in config.precisions:
+        for nthreads in config.thread_counts:
+            single = nthreads == 1
+            results = evaluate_candidates(
+                coo,
+                machine,
+                precision,
+                candidates=candidates if single else mt_candidates,
+                models=MODEL_NAMES if single else (),
+                profile_cache=profile_cache,
+                nthreads=nthreads,
+                fmt_cache=fmt_cache,
+            )
+            for res in results:
+                cand = res.candidate
+                sweep.records.append(
+                    SweepRecord(
+                        kind=cand.kind,
+                        block=cand.block,
+                        impl=cand.impl.value,
+                        precision=Precision.coerce(precision).value,
+                        nthreads=nthreads,
+                        t_real=res.sim.t_total,
+                        t_mem=res.sim.t_mem,
+                        t_comp=res.sim.t_comp,
+                        t_latency=res.sim.t_latency,
+                        ws_bytes=res.ws_bytes,
+                        padding_ratio=res.padding_ratio,
+                        n_blocks=res.n_blocks,
+                        predictions=dict(res.predictions),
+                    )
+                )
+    return sweep
+
+
+def run_sweep(
+    entries: Iterable[SuiteEntry] | None = None,
+    config: SweepConfig = SweepConfig(),
+    *,
+    machine: MachineModel | None = None,
+    progress: bool = False,
+) -> SweepResult:
+    """Run the sweep serially in-process (no caching, no pool).
+
+    This is the reference path the engine's parallel output is tested
+    against; production runs go through :func:`load_or_run_sweep`.
+    ``entries`` defaults to ``config.entries()``.
+    """
+    machine = machine if machine is not None else get_preset(config.machine_name)
+    profile_cache = ProfileCache()
+
     t_start = time.perf_counter()
     matrices: list[MatrixSweep] = []
-    for entry in entries:
+    for entry in config.entries() if entries is None else entries:
         t0 = time.perf_counter()
-        coo = entry.build()
-        sweep = MatrixSweep(
-            idx=entry.idx,
-            name=entry.name,
-            domain=entry.domain,
-            geometry=entry.geometry,
-            special=entry.special,
-            nrows=coo.nrows,
-            ncols=coo.ncols,
-            nnz=coo.nnz,
+        matrices.append(
+            sweep_matrix(
+                entry, config, machine=machine, profile_cache=profile_cache
+            )
         )
-        fmt_cache: dict = {}
-        for precision in config.precisions:
-            for nthreads in config.thread_counts:
-                single = nthreads == 1
-                results = evaluate_candidates(
-                    coo,
-                    machine,
-                    precision,
-                    candidates=candidates if single else mt_candidates,
-                    models=MODEL_NAMES if single else (),
-                    profile_cache=profile_cache,
-                    nthreads=nthreads,
-                    fmt_cache=fmt_cache,
-                )
-                for res in results:
-                    cand = res.candidate
-                    sweep.records.append(
-                        SweepRecord(
-                            kind=cand.kind,
-                            block=cand.block,
-                            impl=cand.impl.value,
-                            precision=Precision.coerce(precision).value,
-                            nthreads=nthreads,
-                            t_real=res.sim.t_total,
-                            t_mem=res.sim.t_mem,
-                            t_comp=res.sim.t_comp,
-                            t_latency=res.sim.t_latency,
-                            ws_bytes=res.ws_bytes,
-                            padding_ratio=res.padding_ratio,
-                            n_blocks=res.n_blocks,
-                            predictions=dict(res.predictions),
-                        )
-                    )
-        matrices.append(sweep)
         if progress:
             print(
                 f"[sweep] {entry.idx:2d} {entry.name:15s} "
@@ -246,11 +343,58 @@ def load_or_run_sweep(
     *,
     cache_dir: str | Path = DEFAULT_CACHE_DIR,
     progress: bool = False,
+    jobs: int | None = 1,
+    resume: bool = True,
+    run_log: str | Path | None = None,
 ) -> SweepResult:
-    """Return the cached sweep for ``config``, running it if absent."""
+    """Return the cached sweep for ``config``, running it if absent.
+
+    Cache misses run through the :mod:`repro.engine` worker pool:
+
+    * ``jobs`` — worker processes (``None`` = ``os.cpu_count()``).
+    * ``resume`` — reuse per-matrix shards left by an interrupted sweep;
+      ``False`` discards them and recomputes everything.
+    * ``run_log`` — append machine-readable JSONL engine events here.
+
+    A corrupt or truncated monolithic cache file is discarded with a
+    warning and the sweep re-runs (from its shards, when they survive).
+    The monolithic file is only (re)written once the sweep is complete,
+    i.e. no shard was quarantined.
+    """
     cache_path = Path(cache_dir) / f"sweep_{config.fingerprint()}.json"
     if cache_path.exists():
-        return SweepResult.load(cache_path)
-    result = run_sweep(config=config, progress=progress)
-    result.save(cache_path)
+        try:
+            return SweepResult.load(cache_path)
+        except CACHE_DECODE_ERRORS as exc:
+            logger.warning(
+                "discarding corrupt sweep cache %s (%s: %s); re-running",
+                cache_path, type(exc).__name__, exc,
+            )
+            cache_path.unlink(missing_ok=True)
+
+    # Imported here, not at module top: the engine is built on top of this
+    # module and importing it eagerly would be circular.
+    from ..engine.events import JsonlReporter, ProgressReporter
+    from ..engine.pool import SweepEngine
+
+    reporters = []
+    if progress:
+        reporters.append(ProgressReporter())
+    log_reporter = None
+    if run_log is not None:
+        log_reporter = JsonlReporter(run_log)
+        reporters.append(log_reporter)
+    try:
+        result = SweepEngine(
+            config,
+            cache_dir=cache_dir,
+            jobs=jobs,
+            resume=resume,
+            reporters=reporters,
+        ).run()
+    finally:
+        if log_reporter is not None:
+            log_reporter.close()
+    if not result.missing:
+        result.save(cache_path)
     return result

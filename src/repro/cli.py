@@ -3,9 +3,21 @@
 Usage::
 
     python -m repro table1
-    python -m repro sweep --progress        # run & cache the full sweep
+    python -m repro sweep --progress              # full sweep, all cores
+    python -m repro sweep --jobs 2 --run-log run.jsonl
+    python -m repro sweep --matrices 1,27,30 --precisions dp --threads 1
+    python -m repro sweep --fresh                 # ignore partial shards
     python -m repro table2 table3 fig2 fig3 fig4 table4 colind
-    python -m repro all                     # everything, in paper order
+    python -m repro all                           # everything, paper order
+
+Sweeps run on the :mod:`repro.engine` worker pool: ``--jobs N`` picks the
+number of worker processes (default: all cores), completed per-matrix
+shards persist under ``<cache-dir>/shards/`` so an interrupted sweep
+resumes where it stopped (``--resume``, the default; ``--fresh`` discards
+them), and ``--run-log PATH`` appends machine-readable JSONL events
+(shard start/finish/retry/quarantine, throughput, worker utilization).
+``--matrices/--precisions/--threads`` restrict the sweep for quick runs;
+each restriction is a separately-cached configuration.
 """
 
 from __future__ import annotations
@@ -53,9 +65,93 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--progress",
         action="store_true",
-        help="print per-matrix progress while sweeping",
+        help="print per-shard progress while sweeping",
+    )
+    engine = parser.add_argument_group("sweep engine")
+    engine.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (default: all cores)",
+    )
+    resume = engine.add_mutually_exclusive_group()
+    resume.add_argument(
+        "--resume",
+        dest="resume",
+        action="store_true",
+        default=True,
+        help="reuse shards from an interrupted sweep (default)",
+    )
+    resume.add_argument(
+        "--fresh",
+        dest="resume",
+        action="store_false",
+        help="discard partial shards and recompute everything",
+    )
+    engine.add_argument(
+        "--run-log",
+        default=None,
+        metavar="PATH",
+        help="append machine-readable JSONL engine events to PATH",
+    )
+    subset = parser.add_argument_group(
+        "sweep subsetting (each combination caches separately)"
+    )
+    subset.add_argument(
+        "--matrices",
+        default=None,
+        metavar="I,J,...",
+        help="restrict the sweep to these 1-based suite indices",
+    )
+    subset.add_argument(
+        "--precisions",
+        default=None,
+        metavar="P,...",
+        help="restrict to these precisions (from: sp,dp)",
+    )
+    subset.add_argument(
+        "--threads",
+        default=None,
+        metavar="T,...",
+        help="restrict to these thread counts (from: 1,2,4)",
     )
     return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> SweepConfig:
+    kwargs: dict = {}
+    if args.matrices is not None:
+        kwargs["suite_indices"] = tuple(
+            int(s) for s in args.matrices.split(",") if s
+        )
+    if args.precisions is not None:
+        kwargs["precisions"] = tuple(
+            s for s in args.precisions.split(",") if s
+        )
+    if args.threads is not None:
+        kwargs["thread_counts"] = tuple(
+            int(s) for s in args.threads.split(",") if s
+        )
+    return SweepConfig(**kwargs)
+
+
+def _validate_sweep_args(args: argparse.Namespace) -> str | None:
+    """A human-readable problem with the sweep flags, or ``None``."""
+    if args.jobs is not None and args.jobs < 1:
+        return f"--jobs must be >= 1, got {args.jobs}"
+    config = _config_from_args(args)
+    if not config.precisions:
+        return "--precisions selected nothing"
+    if not config.thread_counts:
+        return "--threads selected nothing"
+    if config.suite_indices is not None and not config.suite_indices:
+        return "--matrices selected no suite entries"
+    try:
+        config.entries()
+    except KeyError as exc:
+        return str(exc.args[0])
+    return None
 
 
 def _run_one(name: str, sweep) -> str:
@@ -94,9 +190,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     sweep = None
     if needs_sweep:
+        error = _validate_sweep_args(args)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         sweep = load_or_run_sweep(
-            SweepConfig(), cache_dir=args.cache_dir, progress=args.progress
+            _config_from_args(args),
+            cache_dir=args.cache_dir,
+            progress=args.progress,
+            jobs=args.jobs,  # None = os.cpu_count(), resolved by the engine
+            resume=args.resume,
+            run_log=args.run_log,
         )
+        if sweep.missing:
+            print(
+                "warning: sweep is partial — quarantined matrices: "
+                + ", ".join(str(i) for i in sweep.missing),
+                file=sys.stderr,
+            )
         if "sweep" in wanted:
             print(
                 f"sweep ready: {len(sweep.matrices)} matrices, "

@@ -1,0 +1,149 @@
+"""Structured engine events and pluggable reporters.
+
+Every observable step of a sweep — shard submitted, finished, retried,
+served from the shard cache, quarantined — is emitted as a flat dict
+through one :class:`EventBus`.  Both the human CLI progress line and the
+machine-readable JSONL run log are reporters on that same bus, so they can
+never drift apart; tests subscribe a :class:`CollectingReporter` to assert
+on the exact execution history (e.g. "resume recomputed only shard 27").
+
+Event schema (all events)::
+
+    {"ts": <unix time>, "event": <kind>, ...kind-specific fields}
+
+Kinds and their fields:
+
+========================  ====================================================
+``sweep_start``           ``fingerprint, n_shards, jobs, cached, resume``
+``shard_cached``          ``shard, matrix`` (served from a completed shard)
+``shard_start``           ``shard, matrix, attempt`` (submitted to a worker)
+``shard_finish``          ``shard, matrix, attempt, elapsed_s, records``
+``shard_retry``           ``shard, matrix, attempt, backoff_s, error``
+``shard_quarantined``     ``shard, matrix, attempts, error``
+``sweep_finish``          ``fingerprint, elapsed_s, completed, cached,``
+                          ``quarantined, records, shards_per_s,``
+                          ``records_per_s, worker_utilization, jobs``
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import IO, Protocol
+
+__all__ = [
+    "Reporter",
+    "EventBus",
+    "JsonlReporter",
+    "ProgressReporter",
+    "CollectingReporter",
+]
+
+
+class Reporter(Protocol):
+    """Anything that consumes engine events."""
+
+    def handle(self, event: dict) -> None: ...
+
+
+class EventBus:
+    """Fans each emitted event out to every subscribed reporter."""
+
+    def __init__(self, reporters: tuple[Reporter, ...] | list = ()) -> None:
+        self._reporters: list[Reporter] = list(reporters)
+
+    def subscribe(self, reporter: Reporter) -> None:
+        self._reporters.append(reporter)
+
+    def emit(self, kind: str, **fields) -> dict:
+        event = {"ts": time.time(), "event": kind, **fields}
+        for reporter in self._reporters:
+            reporter.handle(event)
+        return event
+
+
+class JsonlReporter:
+    """Appends one JSON line per event to ``path`` (the run log)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open("a")
+
+    def handle(self, event: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class CollectingReporter:
+    """Keeps every event in a list; the test-suite's reporter."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def handle(self, event: dict) -> None:
+        self.events.append(event)
+
+    def of(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e["event"] == kind]
+
+
+class ProgressReporter:
+    """Human-readable one-line-per-event progress (the CLI's reporter)."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+
+    def _print(self, line: str) -> None:
+        print(line, file=self._stream, flush=True)
+
+    def handle(self, event: dict) -> None:
+        kind = event["event"]
+        if kind == "sweep_start":
+            self._print(
+                f"[engine] sweep {event['fingerprint']}: "
+                f"{event['n_shards']} shards on {event['jobs']} worker(s), "
+                f"{event['cached']} already complete"
+            )
+        elif kind == "shard_cached":
+            self._print(
+                f"[engine] {event['shard']:3d} {event['matrix']:15s} cached"
+            )
+        elif kind == "shard_finish":
+            self._print(
+                f"[engine] {event['shard']:3d} {event['matrix']:15s} "
+                f"done in {event['elapsed_s']:5.1f}s "
+                f"({event['records']} records)"
+            )
+        elif kind == "shard_retry":
+            self._print(
+                f"[engine] {event['shard']:3d} {event['matrix']:15s} "
+                f"retrying (attempt {event['attempt']}, "
+                f"backoff {event['backoff_s']:.1f}s): {event['error']}"
+            )
+        elif kind == "shard_quarantined":
+            self._print(
+                f"[engine] {event['shard']:3d} {event['matrix']:15s} "
+                f"QUARANTINED after {event['attempts']} attempts: "
+                f"{event['error']}"
+            )
+        elif kind == "sweep_finish":
+            util = 100.0 * event["worker_utilization"]
+            self._print(
+                f"[engine] sweep finished in {event['elapsed_s']:.1f}s: "
+                f"{event['completed']} computed + {event['cached']} cached, "
+                f"{event['quarantined']} quarantined "
+                f"({event['records_per_s']:.0f} records/s, "
+                f"{util:.0f}% worker utilization)"
+            )
+        # shard_start is deliberately silent: submit-time noise.

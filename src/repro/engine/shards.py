@@ -1,0 +1,124 @@
+"""Atomic, fingerprinted per-shard persistence.
+
+Completed shards live under ``<cache_dir>/shards/<config_fingerprint>/`` as
+``shard_NNN.json``, written via tmp-file + ``os.replace`` so a killed sweep
+never leaves a truncated shard behind.  On resume the store is the source
+of truth: any shard that loads cleanly (schema and fingerprint match) is
+served from disk, anything corrupt is discarded with a warning and simply
+recomputed.
+
+Shards that failed repeatedly are *quarantined*: a ``shard_NNN.quarantine``
+marker records the final error so an operator can inspect it, while the
+sweep itself continues and reports the shard in ``SweepResult.missing``.
+A later run re-attempts quarantined shards (the marker is cleared on
+success) — quarantine is a per-run verdict, not a permanent blacklist.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import shutil
+from dataclasses import asdict
+from pathlib import Path
+
+from ..bench.harness import (
+    CACHE_DECODE_ERRORS,
+    DEFAULT_CACHE_DIR,
+    MatrixSweep,
+    SweepConfig,
+    atomic_write_json,
+    matrix_sweep_from_payload,
+)
+
+__all__ = ["ShardStore", "SHARD_SCHEMA"]
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the shard file layout changes (old shards are then ignored).
+SHARD_SCHEMA = 1
+
+
+class ShardStore:
+    """Per-config directory of completed shards and quarantine markers."""
+
+    def __init__(
+        self,
+        cache_dir: str | Path = DEFAULT_CACHE_DIR,
+        config: SweepConfig = SweepConfig(),
+    ) -> None:
+        self.config = config
+        self.fingerprint = config.fingerprint()
+        self.root = Path(cache_dir) / "shards" / self.fingerprint
+
+    # ----------------------------- paths ----------------------------- #
+    def shard_path(self, shard_id: int) -> Path:
+        return self.root / f"shard_{shard_id:03d}.json"
+
+    def quarantine_path(self, shard_id: int) -> Path:
+        return self.root / f"shard_{shard_id:03d}.quarantine"
+
+    # ------------------------ completed shards ------------------------ #
+    def save(
+        self, shard_id: int, matrix: MatrixSweep, *, elapsed_s: float = 0.0
+    ) -> None:
+        atomic_write_json(self.shard_path(shard_id), {
+            "schema": SHARD_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "shard": shard_id,
+            "elapsed_s": elapsed_s,
+            "matrix": asdict(matrix),
+        })
+
+    def load(self, shard_id: int) -> MatrixSweep | None:
+        """The shard's matrix sweep, or ``None`` if absent/corrupt/stale."""
+        path = self.shard_path(shard_id)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if (payload["schema"] != SHARD_SCHEMA
+                    or payload["fingerprint"] != self.fingerprint):
+                raise ValueError("schema or fingerprint mismatch")
+            return matrix_sweep_from_payload(payload["matrix"])
+        except CACHE_DECODE_ERRORS as exc:
+            logger.warning(
+                "discarding corrupt shard %s (%s: %s)",
+                path, type(exc).__name__, exc,
+            )
+            path.unlink(missing_ok=True)
+            return None
+
+    def completed_ids(self) -> list[int]:
+        """Shard ids with a (plausibly valid) completed file, ascending."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            int(p.stem.split("_")[1])
+            for p in self.root.glob("shard_[0-9][0-9][0-9].json")
+        )
+
+    def clear(self) -> None:
+        """Discard every shard and quarantine marker (``--fresh``)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    # --------------------------- quarantine --------------------------- #
+    def quarantine(self, shard_id: int, *, error: str, attempts: int) -> None:
+        atomic_write_json(self.quarantine_path(shard_id), {
+            "schema": SHARD_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "shard": shard_id,
+            "error": error,
+            "attempts": attempts,
+        })
+
+    def quarantined_ids(self) -> list[int]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            int(p.stem.split("_")[1])
+            for p in self.root.glob("shard_[0-9][0-9][0-9].quarantine")
+        )
+
+    def clear_quarantine(self, shard_id: int) -> None:
+        self.quarantine_path(shard_id).unlink(missing_ok=True)

@@ -1,11 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro import cli
 from repro.bench.harness import SweepConfig, run_sweep
 
 from .test_experiments import MINI_SUITE
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestParser:
@@ -16,6 +24,50 @@ class TestParser:
     def test_requires_an_experiment(self):
         with pytest.raises(SystemExit):
             cli.main([])
+
+    def test_resume_and_fresh_conflict(self):
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--resume", "--fresh"])
+
+
+class TestConfigFromArgs:
+    def _config(self, *argv):
+        args = cli._build_parser().parse_args(["sweep", *argv])
+        return cli._config_from_args(args)
+
+    def test_defaults_to_full_config(self):
+        assert self._config() == SweepConfig()
+
+    def test_subset_flags(self):
+        cfg = self._config(
+            "--matrices", "1,27,30", "--precisions", "dp", "--threads", "1,2"
+        )
+        assert cfg.suite_indices == (1, 27, 30)
+        assert cfg.precisions == ("dp",)
+        assert cfg.thread_counts == (1, 2)
+
+    @pytest.mark.parametrize("argv,message", [
+        (["--jobs", "0"], "--jobs must be >= 1"),
+        (["--matrices", "1,99"], "no suite entry 99"),
+        (["--matrices", ""], "no suite entries"),
+        (["--precisions", ""], "--precisions selected nothing"),
+        (["--threads", ""], "--threads selected nothing"),
+    ])
+    def test_invalid_sweep_flags_fail_cleanly(self, capsys, tmp_path,
+                                              argv, message):
+        code = cli.main(
+            ["sweep", *argv, "--cache-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert message in capsys.readouterr().err
+
+    def test_engine_flag_defaults(self):
+        args = cli._build_parser().parse_args(["sweep"])
+        assert args.jobs is None
+        assert args.resume is True
+        assert args.run_log is None
+        args = cli._build_parser().parse_args(["sweep", "--fresh"])
+        assert args.resume is False
 
 
 class TestColind:
@@ -74,3 +126,50 @@ class TestSweepDriven:
     def test_sweep_reports_stats(self, capsys, tiny_cache):
         assert cli.main(["sweep", "--cache-dir", str(tiny_cache)]) == 0
         assert "sweep ready" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestEngineSmoke:
+    """Tier-1 end-to-end smoke: a real ``python -m repro sweep --jobs 2``
+    on a 3-matrix suite subset against a temp cache dir."""
+
+    ARGS = [
+        "sweep", "--jobs", "2",
+        "--matrices", "1,27,30", "--precisions", "dp", "--threads", "1",
+    ]
+
+    def test_sweep_jobs2_end_to_end(self, tmp_path):
+        run_log = tmp_path / "run.jsonl"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *self.ARGS,
+             "--cache-dir", str(tmp_path), "--run-log", str(run_log),
+             "--progress"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={**os.environ,
+                 "PYTHONPATH": str(REPO_ROOT / "src")
+                 + os.pathsep + os.environ.get("PYTHONPATH", "")},
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "sweep ready: 3 matrices" in proc.stdout
+
+        # The run log recorded every shard going through the pool.
+        events = [json.loads(l) for l in run_log.read_text().splitlines()]
+        finished = sorted(
+            e["shard"] for e in events if e["event"] == "shard_finish"
+        )
+        assert finished == [1, 27, 30]
+        assert events[0]["jobs"] == 2
+
+        # The monolithic cache was assembled; a second invocation is a
+        # pure cache hit (no engine events appended).
+        config = SweepConfig(
+            suite_indices=(1, 27, 30), precisions=("dp",), thread_counts=(1,)
+        )
+        assert (tmp_path / f"sweep_{config.fingerprint()}.json").exists()
+        n_lines = len(events)
+        assert cli.main([*self.ARGS, "--cache-dir", str(tmp_path),
+                         "--run-log", str(run_log)]) == 0
+        assert len(run_log.read_text().splitlines()) == n_lines

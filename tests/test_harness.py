@@ -1,9 +1,18 @@
 """Tests for sweep harness internals and Table II config pools."""
 
+import json
+
 import pytest
 
 from repro.bench.experiments import _config_records, _model_selection
-from repro.bench.harness import MatrixSweep, SweepConfig, SweepRecord
+from repro.bench.harness import (
+    MatrixSweep,
+    SweepConfig,
+    SweepRecord,
+    SweepResult,
+    atomic_write_json,
+    load_or_run_sweep,
+)
 from repro.core import Candidate
 from repro.types import Impl
 
@@ -93,3 +102,126 @@ class TestSweepConfig:
         assert cfg.precisions == ("sp", "dp")
         assert cfg.thread_counts == (1, 2, 4)
         assert cfg.max_block_elems == 8
+        assert cfg.suite_indices is None
+
+    def test_suite_indices_in_fingerprint(self):
+        full = SweepConfig()
+        subset = SweepConfig(suite_indices=(1, 27, 30))
+        assert full.fingerprint() != subset.fingerprint()
+        assert subset.fingerprint() != SweepConfig(
+            suite_indices=(1, 27)
+        ).fingerprint()
+
+    def test_entries_subset(self):
+        cfg = SweepConfig(suite_indices=(30, 1))
+        names = [e.name for e in cfg.entries()]
+        assert names == ["stomach", "dense"]
+        assert len(SweepConfig().entries()) == 30
+
+    def test_entries_unknown_index(self):
+        with pytest.raises(KeyError):
+            SweepConfig(suite_indices=(99,)).entries()
+
+
+def _stub_result(config):
+    m = MatrixSweep(
+        idx=1, name="stub", domain="test", geometry=False, special=False,
+        nrows=4, ncols=4, nnz=8, records=[_rec("csr", None, "scalar")],
+    )
+    return SweepResult(config=config, matrices=[m], elapsed_s=1.0)
+
+
+class TestSweepResultPersistence:
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "nested" / "sweep.json"
+        _stub_result(SweepConfig()).save(path)
+        assert path.exists()
+        assert list(path.parent.glob("*.tmp")) == []
+
+    def test_roundtrip_preserves_records_and_missing(self, tmp_path):
+        result = _stub_result(SweepConfig(suite_indices=(1,)))
+        result.missing = [27]
+        path = tmp_path / "sweep.json"
+        result.save(path)
+        loaded = SweepResult.load(path)
+        assert loaded.canonical_json() == result.canonical_json()
+        assert loaded.missing == [27]
+        assert loaded.config.suite_indices == (1,)
+
+    def test_load_pre_missing_schema(self, tmp_path):
+        # Caches written before the engine existed have no "missing" key.
+        result = _stub_result(SweepConfig())
+        path = tmp_path / "sweep.json"
+        result.save(path)
+        payload = json.loads(path.read_text())
+        del payload["missing"]
+        atomic_write_json(path, payload)
+        assert SweepResult.load(path).missing == []
+
+    def test_canonical_json_ignores_elapsed(self):
+        a = _stub_result(SweepConfig())
+        b = _stub_result(SweepConfig())
+        b.elapsed_s = 99.0
+        assert a.canonical_json() == b.canonical_json()
+
+
+class TestCorruptCacheRecovery:
+    @pytest.fixture()
+    def engine_spy(self, monkeypatch):
+        """Replace the engine with a stub so no real sweep runs."""
+        import repro.engine.pool as pool_mod
+
+        calls = []
+
+        class FakeEngine:
+            def __init__(self, config, **kwargs):
+                calls.append(config)
+                self.config = config
+
+            def run(self):
+                return _stub_result(self.config)
+
+        monkeypatch.setattr(pool_mod, "SweepEngine", FakeEngine)
+        return calls
+
+    def test_valid_cache_short_circuits(self, tmp_path, engine_spy):
+        config = SweepConfig()
+        path = tmp_path / f"sweep_{config.fingerprint()}.json"
+        _stub_result(config).save(path)
+        result = load_or_run_sweep(config, cache_dir=tmp_path)
+        assert result.matrices[0].name == "stub"
+        assert engine_spy == []  # engine never constructed
+
+    @pytest.mark.parametrize("garbage", [
+        "", "{truncated", '{"config": {}}', '{"matrices": "nope"}',
+    ])
+    def test_corrupt_cache_reruns(self, tmp_path, engine_spy, garbage, caplog):
+        config = SweepConfig()
+        path = tmp_path / f"sweep_{config.fingerprint()}.json"
+        path.write_text(garbage)
+        with caplog.at_level("WARNING", logger="repro.bench.harness"):
+            result = load_or_run_sweep(config, cache_dir=tmp_path)
+        assert len(engine_spy) == 1
+        assert result.elapsed_s == 1.0
+        assert any("corrupt" in r.message for r in caplog.records)
+        # The rerun rewrote a valid cache file.
+        assert SweepResult.load(path).matrices[0].name == "stub"
+
+    def test_partial_result_not_cached(self, tmp_path, monkeypatch):
+        import repro.engine.pool as pool_mod
+
+        class PartialEngine:
+            def __init__(self, config, **kwargs):
+                self.config = config
+
+            def run(self):
+                result = _stub_result(self.config)
+                result.missing = [27]
+                return result
+
+        monkeypatch.setattr(pool_mod, "SweepEngine", PartialEngine)
+        config = SweepConfig()
+        result = load_or_run_sweep(config, cache_dir=tmp_path)
+        assert result.missing == [27]
+        path = tmp_path / f"sweep_{config.fingerprint()}.json"
+        assert not path.exists()
