@@ -1,0 +1,97 @@
+"""Advise latency of the format-advisor service.
+
+Three measurements on the cheapest suite matrices:
+
+* **cold** — feature extraction + pruned model evaluation, empty cache;
+* **cached** — the same request again, answered from the fingerprint-keyed
+  store (profile calibration and matrix build still paid, so this bounds
+  the end-to-end latency a CLI user sees, not just the dict lookup);
+* **pruned vs exhaustive** — the speedup the feature-driven pruning buys
+  over evaluating the full candidate space.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_advisor.py -q \
+        --benchmark-json=advisor.json
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiling import ProfileCache
+from repro.machine.presets import CORE2_XEON
+from repro.serve.service import AdvisorService
+
+#: dense + pwtk + stomach: the cheapest-to-build suite matrices.
+MATRICES = ("dense", "pwtk", "stomach")
+
+
+@pytest.fixture(scope="module")
+def profile_cache():
+    """Calibrate once for the whole module (2.3s per service otherwise)."""
+    cache = ProfileCache()
+    cache.get(CORE2_XEON, "dp")
+    return cache
+
+
+def _service(tmp_path, profile_cache, **kwargs):
+    return AdvisorService(
+        CORE2_XEON,
+        cache_dir=tmp_path,
+        profile_cache=profile_cache,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("name", MATRICES)
+def test_advise_cold(benchmark, tmp_path, profile_cache, name):
+    service = _service(tmp_path, profile_cache)
+
+    def run():
+        service.store.clear()
+        return service.advise(name)
+
+    rec = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not rec.cache_hit
+    benchmark.extra_info["matrix"] = name
+    benchmark.extra_info["n_candidates_evaluated"] = rec.n_candidates_evaluated
+    benchmark.extra_info["candidate_fraction"] = round(
+        rec.n_candidates_evaluated / rec.n_candidates_total, 3
+    )
+
+
+@pytest.mark.parametrize("name", MATRICES)
+def test_advise_cached(benchmark, tmp_path, profile_cache, name):
+    service = _service(tmp_path, profile_cache)
+    service.advise(name)  # warm the store
+
+    def run():
+        return service.advise(name)
+
+    rec = benchmark(run)
+    assert rec.cache_hit
+    benchmark.extra_info["matrix"] = name
+
+
+@pytest.mark.parametrize("name", MATRICES)
+def test_advise_pruned_vs_exhaustive(benchmark, tmp_path, profile_cache, name):
+    """The pruning speedup, end to end (features + evaluation both timed)."""
+    service = _service(tmp_path, profile_cache)
+
+    import time
+
+    t0 = time.perf_counter()
+    exhaustive = service.advise(name, prune=False, use_cache=False)
+    t_exhaustive = time.perf_counter() - t0
+
+    def run():
+        return service.advise(name, use_cache=False)
+
+    rec = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert rec.best.candidate == exhaustive.best.candidate
+    benchmark.extra_info["matrix"] = name
+    benchmark.extra_info["t_exhaustive_s"] = round(t_exhaustive, 3)
+    benchmark.extra_info["pruning_speedup"] = round(
+        t_exhaustive / benchmark.stats["mean"], 2
+    )

@@ -17,7 +17,7 @@ from ..machine.machine import MachineModel
 from ..machine.presets import get_preset
 from ..matrices.suite import SUITE
 from .harness import MatrixSweep, SweepRecord, SweepResult
-from .report import render_series, render_table
+from .report import render_series, render_table, warn_if_partial
 
 __all__ = [
     "table1",
@@ -109,6 +109,7 @@ def _config_records(
 @dataclass
 class Table2Result:
     wins: dict[str, dict[str, int]]  # config -> kind -> count
+    missing: tuple[int, ...] = ()
 
     def render(self) -> str:
         configs = list(self.wins)
@@ -126,7 +127,7 @@ class Table2Result:
                 "Table II: matrices won per format "
                 "(special matrices excluded)"
             ),
-        )
+        ) + warn_if_partial(self.missing)
 
 
 def table2(sweep: SweepResult) -> Table2Result:
@@ -145,7 +146,7 @@ def table2(sweep: SweepResult) -> Table2Result:
                 best = min(pool, key=lambda r: r.t_real)
                 counts[best.kind] += 1
             wins[cfg] = counts
-    return Table2Result(wins=wins)
+    return Table2Result(wins=wins, missing=tuple(sweep.missing))
 
 
 # ===================================================================== #
@@ -155,6 +156,7 @@ def table2(sweep: SweepResult) -> Table2Result:
 class Table3Result:
     rows: list[tuple]
     averages: tuple
+    missing: tuple[int, ...] = ()
 
     def render(self) -> str:
         headers = [
@@ -170,7 +172,7 @@ class Table3Result:
             headers,
             rows,
             title="Table III: speedup over CSR per matrix, double precision, scalar",
-        )
+        ) + warn_if_partial(self.missing)
 
 
 def table3(sweep: SweepResult) -> Table3Result:
@@ -198,7 +200,8 @@ def table3(sweep: SweepResult) -> Table3Result:
     averages = tuple(
         ["Average"] + [f"{mean(c):.2f}" for c in per_col]
     )
-    return Table3Result(rows=rows, averages=averages)
+    return Table3Result(rows=rows, averages=averages,
+                        missing=tuple(sweep.missing))
 
 
 # ===================================================================== #
@@ -207,6 +210,7 @@ def table3(sweep: SweepResult) -> Table3Result:
 @dataclass
 class Figure2Result:
     wins: dict[str, dict[str, int]]  # "<precision>-<cores>c" -> kind -> count
+    missing: tuple[int, ...] = ()
 
     def render(self) -> str:
         configs = list(self.wins)
@@ -222,7 +226,7 @@ class Figure2Result:
                 "Figure 2: distribution of wins across formats for "
                 "1, 2 and 4 cores (best over scalar/SIMD kernels)"
             ),
-        )
+        ) + warn_if_partial(self.missing)
 
 
 def figure2(sweep: SweepResult) -> Figure2Result:
@@ -243,7 +247,7 @@ def figure2(sweep: SweepResult) -> Figure2Result:
                 best = min(pool, key=lambda r: r.t_real)
                 counts[best.kind] += 1
             wins[cfg] = counts
-    return Figure2Result(wins=wins)
+    return Figure2Result(wins=wins, missing=tuple(sweep.missing))
 
 
 # ===================================================================== #
@@ -255,6 +259,7 @@ class Figure3Result:
     matrix_ids: list[int]
     normalized: dict[str, list[float]]  # model -> per-matrix mean pred/real
     mean_abs_error: dict[str, float]  # model -> mean |pred - real| / real
+    missing: tuple[int, ...] = ()
 
     def render(self) -> str:
         legend = ", ".join(
@@ -270,7 +275,7 @@ class Figure3Result:
                 "time per matrix (mean over all blocks and methods)"
             ),
         )
-        return body + "\n" + legend
+        return body + "\n" + legend + warn_if_partial(self.missing)
 
 
 def figure3(sweep: SweepResult, precision: str) -> Figure3Result:
@@ -296,6 +301,7 @@ def figure3(sweep: SweepResult, precision: str) -> Figure3Result:
         matrix_ids=ids,
         normalized=normalized,
         mean_abs_error={m: mean(abs_err[m]) for m in _MODELS},
+        missing=tuple(sweep.missing),
     )
 
 
@@ -326,6 +332,7 @@ class Figure4Result:
     precision: str
     matrix_ids: list[int]
     normalized: dict[str, list[float]]  # model -> t_real(selection)/t_best
+    missing: tuple[int, ...] = ()
 
     def render(self) -> str:
         return render_series(
@@ -336,7 +343,7 @@ class Figure4Result:
                 f"Figure 4 ({self.precision}): real time of each model's "
                 "selection, normalized to the best overall"
             ),
-        )
+        ) + warn_if_partial(self.missing)
 
 
 def figure4(sweep: SweepResult, precision: str) -> Figure4Result:
@@ -353,13 +360,17 @@ def figure4(sweep: SweepResult, precision: str) -> Figure4Result:
             sel = _model_selection(records, model)
             normalized[model].append(sel.t_real / best.t_real)
     return Figure4Result(
-        precision=precision, matrix_ids=ids, normalized=normalized
+        precision=precision,
+        matrix_ids=ids,
+        normalized=normalized,
+        missing=tuple(sweep.missing),
     )
 
 
 @dataclass
 class Table4Result:
     rows: list[tuple]
+    missing: tuple[int, ...] = ()
 
     def render(self) -> str:
         return render_table(
@@ -373,7 +384,7 @@ class Table4Result:
                 "Table IV: optimal selections per model and mean distance "
                 "from the best performance"
             ),
-        )
+        ) + warn_if_partial(self.missing)
 
 
 def table4(sweep: SweepResult) -> Table4Result:
@@ -412,7 +423,7 @@ def table4(sweep: SweepResult) -> Table4Result:
                 f"{dp_off * 100:.1f}%",
             )
         )
-    return Table4Result(rows=rows)
+    return Table4Result(rows=rows, missing=tuple(sweep.missing))
 
 
 # ===================================================================== #

@@ -8,14 +8,54 @@ exactly the data a plotting script would consume.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import sys
+from typing import Iterable, Sequence, TextIO
 
-__all__ = ["render_table", "render_series", "format_float"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "format_float",
+    "missing_note",
+    "warn_if_partial",
+]
 
 
 def format_float(value: float, digits: int = 2) -> str:
     """Fixed-point rendering used across all tables."""
     return f"{value:.{digits}f}"
+
+
+def missing_note(missing: Sequence[int]) -> str | None:
+    """One-line description of a partial sweep, or ``None`` if complete."""
+    if not missing:
+        return None
+    ids = ", ".join(str(i) for i in sorted(missing))
+    return (
+        f"PARTIAL SWEEP: matrices {ids} are missing (quarantined or not "
+        "swept); every number below excludes them"
+    )
+
+
+def warn_if_partial(
+    missing: Sequence[int], *, stream: TextIO | None = None
+) -> str:
+    """Loud stderr banner for a partial sweep; returns the table footnote.
+
+    Rendering a table from an incomplete sweep silently would invite
+    comparing apples to oranges (e.g. win counts over 28 matrices against
+    the paper's 30), so every experiment ``render()`` both shouts on stderr
+    and stamps the rendered text itself.  Returns ``""`` when nothing is
+    missing.
+    """
+    note = missing_note(missing)
+    if note is None:
+        return ""
+    stream = sys.stderr if stream is None else stream
+    bar = "!" * 72
+    print(bar, file=stream)
+    print(f"! {note}", file=stream)
+    print(bar, file=stream)
+    return f"\n* {note}"
 
 
 def render_table(

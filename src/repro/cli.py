@@ -9,6 +9,9 @@ Usage::
     python -m repro sweep --fresh                 # ignore partial shards
     python -m repro table2 table3 fig2 fig3 fig4 table4 colind
     python -m repro all                           # everything, paper order
+    python -m repro advise pwtk --top 3           # format advisor, one matrix
+    python -m repro advise path/to/matrix.mtx --no-prune
+    python -m repro serve --port 8077             # advisor HTTP service
 
 Sweeps run on the :mod:`repro.engine` worker pool: ``--jobs N`` picks the
 number of worker processes (default: all cores), completed per-matrix
@@ -178,7 +181,132 @@ def _run_one(name: str, sweep) -> str:
     raise ValueError(name)  # pragma: no cover - argparse restricts choices
 
 
+def _build_advise_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv advise",
+        description=(
+            "Recommend the fastest (format, block, implementation) for a "
+            "matrix — a suite entry name/index or a Matrix Market file."
+        ),
+    )
+    parser.add_argument(
+        "matrix",
+        help="suite entry name, 1-based suite index, or path to a .mtx file",
+    )
+    parser.add_argument(
+        "--model",
+        default="overlap",
+        choices=("mem", "memcomp", "overlap"),
+        help="performance model used for the ranking (default: overlap)",
+    )
+    parser.add_argument(
+        "--precision", default="dp", choices=("sp", "dp"),
+        help="value precision (default: dp)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=3, metavar="N",
+        help="how many ranked candidates to print (default: 3)",
+    )
+    parser.add_argument(
+        "--no-prune",
+        dest="prune",
+        action="store_false",
+        help="evaluate the exhaustive candidate space (no feature pruning)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        dest="use_cache",
+        action="store_false",
+        help="skip the recommendation cache (always recompute)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        help="directory for the recommendation cache",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full recommendation as JSON instead of a table",
+    )
+    return parser
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv serve",
+        description=(
+            "Run the advisor HTTP service (POST /advise, GET /healthz, "
+            "GET /stats)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8077)
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        help="directory for the recommendation cache",
+    )
+    return parser
+
+
+def _advise_main(argv: Sequence[str]) -> int:
+    import json as _json
+
+    from .serve.service import AdvisorService
+
+    args = _build_advise_parser().parse_args(argv)
+    if args.top < 1:
+        print(f"error: --top must be >= 1, got {args.top}", file=sys.stderr)
+        return 2
+    service = AdvisorService(cache_dir=args.cache_dir)
+    try:
+        rec = service.advise(
+            args.matrix,
+            model=args.model,
+            precision=args.precision,
+            prune=args.prune,
+            use_cache=args.use_cache,
+        )
+    except Exception as exc:  # surface as a CLI error, not a traceback
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        payload = rec.to_payload()
+        payload["cache_hit"] = rec.cache_hit
+        payload["elapsed_s"] = rec.elapsed_s
+        print(_json.dumps(payload, indent=2))
+        return 0
+    source = "cache" if rec.cache_hit else "evaluated"
+    print(
+        f"{args.matrix}: {rec.nrows} x {rec.ncols}, {rec.nnz} nonzeros"
+        f"  [{source} {rec.n_candidates_evaluated}/{rec.n_candidates_total}"
+        f" candidates, {rec.elapsed_s:.2f}s]"
+    )
+    width = max(len(r.label) for r in rec.top(args.top))
+    for rank, r in enumerate(rec.top(args.top), start=1):
+        print(
+            f"  {rank}. {r.label:<{width}}  "
+            f"predicted {r.predicted_s * 1e3:.3f} ms/spmv"
+        )
+    return 0
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    from .serve.server import serve_forever
+    from .serve.service import AdvisorService
+
+    args = _build_serve_parser().parse_args(argv)
+    service = AdvisorService(cache_dir=args.cache_dir)
+    serve_forever(service, host=args.host, port=args.port)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "advise":
+        return _advise_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     wanted = list(args.experiments)
     if "all" in wanted:

@@ -20,6 +20,8 @@ __all__ = [
     "rect_shapes",
     "diag_sizes",
     "candidate_space",
+    "unique_structures",
+    "restrict_to_structures",
     "FIXED_BLOCK_KINDS",
 ]
 
@@ -119,3 +121,30 @@ def candidate_space(
     if include_vbl:
         out.append(Candidate("vbl", None, Impl.SCALAR))
     return tuple(out)
+
+
+def unique_structures(
+    candidates: Iterable[Candidate],
+) -> tuple[tuple[str, tuple[int, int] | int | None], ...]:
+    """The distinct ``(kind, block)`` storage structures behind a candidate
+    list, in first-seen order.
+
+    Scalar and SIMD flavours of the same blocking share one converted
+    structure, so this is the unit the conversion cost — and therefore any
+    structure-only pruning — operates on.
+    """
+    seen: dict[tuple, None] = {}
+    for cand in candidates:
+        seen.setdefault((cand.kind, cand.block), None)
+    return tuple(seen)
+
+
+def restrict_to_structures(
+    candidates: Iterable[Candidate],
+    structures: Iterable[tuple[str, tuple[int, int] | int | None]],
+) -> tuple[Candidate, ...]:
+    """Filter a candidate list down to the given ``(kind, block)`` structures,
+    preserving order (the structure-level inverse of
+    :func:`unique_structures`)."""
+    keep = set(structures)
+    return tuple(c for c in candidates if (c.kind, c.block) in keep)

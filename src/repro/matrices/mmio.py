@@ -13,6 +13,7 @@ symmetries.  Indices are 1-based on disk, 0-based in memory.
 from __future__ import annotations
 
 import gzip
+import io
 from pathlib import Path
 from typing import IO, Iterator
 
@@ -21,7 +22,11 @@ import numpy as np
 from ..errors import MatrixMarketError
 from ..formats.coo import COOMatrix
 
-__all__ = ["read_matrix_market", "write_matrix_market"]
+__all__ = [
+    "read_matrix_market",
+    "read_matrix_market_text",
+    "write_matrix_market",
+]
 
 _SUPPORTED_FIELDS = ("real", "integer", "pattern")
 _SUPPORTED_SYMMETRIES = ("general", "symmetric", "skew-symmetric")
@@ -44,53 +49,67 @@ def _data_lines(handle: IO) -> Iterator[str]:
 def read_matrix_market(path: str | Path) -> COOMatrix:
     """Read a Matrix Market coordinate file (optionally gzipped)."""
     with _open(path, "r") as fh:
-        header = fh.readline().strip().split()
-        if len(header) != 5 or header[0] != "%%MatrixMarket":
-            raise MatrixMarketError(f"bad header in {path}: {' '.join(header)}")
-        _, objtype, fmt, field, symmetry = (h.lower() for h in header)
-        if objtype != "matrix" or fmt != "coordinate":
-            raise MatrixMarketError(
-                f"only 'matrix coordinate' files are supported, got "
-                f"{objtype} {fmt}"
-            )
-        if field not in _SUPPORTED_FIELDS:
-            raise MatrixMarketError(f"unsupported field {field!r}")
-        if symmetry not in _SUPPORTED_SYMMETRIES:
-            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+        return _read_handle(fh, source=str(path))
 
-        lines = _data_lines(fh)
-        try:
-            size_line = next(lines)
-        except StopIteration:
-            raise MatrixMarketError(f"missing size line in {path}") from None
-        try:
-            nrows, ncols, nnz = (int(tok) for tok in size_line.split())
-        except ValueError:
-            raise MatrixMarketError(
-                f"bad size line in {path}: {size_line!r}"
-            ) from None
 
-        rows = np.empty(nnz, dtype=np.int64)
-        cols = np.empty(nnz, dtype=np.int64)
-        vals = None if field == "pattern" else np.empty(nnz, dtype=np.float64)
-        k = 0
-        for line in lines:
-            if k >= nnz:
-                raise MatrixMarketError(f"more entries than declared in {path}")
-            tok = line.split()
-            rows[k] = int(tok[0]) - 1
-            cols[k] = int(tok[1]) - 1
-            if vals is not None:
-                if len(tok) < 3:
-                    raise MatrixMarketError(
-                        f"missing value on line {line!r} of {path}"
-                    )
-                vals[k] = float(tok[2])
-            k += 1
-        if k != nnz:
-            raise MatrixMarketError(
-                f"{path} declares {nnz} entries but contains {k}"
-            )
+def read_matrix_market_text(text: str, *, source: str = "<string>") -> COOMatrix:
+    """Parse Matrix Market coordinate data held in a string.
+
+    Same grammar as :func:`read_matrix_market`; used by the advisor service
+    to accept matrices posted over HTTP without touching the filesystem.
+    """
+    return _read_handle(io.StringIO(text), source=source)
+
+
+def _read_handle(fh: IO, *, source: str) -> COOMatrix:
+    path = source
+    header = fh.readline().strip().split()
+    if len(header) != 5 or header[0] != "%%MatrixMarket":
+        raise MatrixMarketError(f"bad header in {path}: {' '.join(header)}")
+    _, objtype, fmt, field, symmetry = (h.lower() for h in header)
+    if objtype != "matrix" or fmt != "coordinate":
+        raise MatrixMarketError(
+            f"only 'matrix coordinate' files are supported, got "
+            f"{objtype} {fmt}"
+        )
+    if field not in _SUPPORTED_FIELDS:
+        raise MatrixMarketError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRIES:
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+    lines = _data_lines(fh)
+    try:
+        size_line = next(lines)
+    except StopIteration:
+        raise MatrixMarketError(f"missing size line in {path}") from None
+    try:
+        nrows, ncols, nnz = (int(tok) for tok in size_line.split())
+    except ValueError:
+        raise MatrixMarketError(
+            f"bad size line in {path}: {size_line!r}"
+        ) from None
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = None if field == "pattern" else np.empty(nnz, dtype=np.float64)
+    k = 0
+    for line in lines:
+        if k >= nnz:
+            raise MatrixMarketError(f"more entries than declared in {path}")
+        tok = line.split()
+        rows[k] = int(tok[0]) - 1
+        cols[k] = int(tok[1]) - 1
+        if vals is not None:
+            if len(tok) < 3:
+                raise MatrixMarketError(
+                    f"missing value on line {line!r} of {path}"
+                )
+            vals[k] = float(tok[2])
+        k += 1
+    if k != nnz:
+        raise MatrixMarketError(
+            f"{path} declares {nnz} entries but contains {k}"
+        )
 
     if symmetry in ("symmetric", "skew-symmetric"):
         off = rows != cols

@@ -13,10 +13,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..formats.blockstats import bcsd_block_stats, bcsr_block_stats
+from ..formats.blockstats import BlockStats, bcsd_block_stats, bcsr_block_stats
 from ..formats.coo import COOMatrix
 
-__all__ = ["MatrixStats", "analyze", "block_fill", "diag_fill", "run_lengths"]
+__all__ = [
+    "MatrixStats",
+    "analyze",
+    "block_fill",
+    "diag_fill",
+    "fill_of",
+    "full_block_fraction",
+    "run_lengths",
+]
 
 
 @dataclass(frozen=True)
@@ -57,20 +65,33 @@ def run_lengths(coo: COOMatrix) -> np.ndarray:
     return np.diff(np.append(first, coo.nnz))
 
 
-def block_fill(coo: COOMatrix, r: int, c: int) -> float:
-    """Mean occupancy of the aligned ``r x c`` blocks (1.0 = no padding)."""
-    stats = bcsr_block_stats(coo, r, c)
+def fill_of(stats: BlockStats) -> float:
+    """Mean block occupancy of one analysed blocking (1.0 = no padding)."""
     if stats.n_blocks == 0:
         return 1.0
     return stats.nnz / stats.nnz_stored
+
+
+def full_block_fraction(stats: BlockStats) -> float:
+    """Fraction of nonzeros that sit in completely filled blocks.
+
+    The quantity the decomposed formats care about: BCSR-DEC/BCSD-DEC only
+    pay off when a sizable share of the nonzeros can be split into full,
+    padding-free blocks.
+    """
+    if stats.nnz == 0:
+        return 0.0
+    return float(stats.nnz_in_full_block().mean())
+
+
+def block_fill(coo: COOMatrix, r: int, c: int) -> float:
+    """Mean occupancy of the aligned ``r x c`` blocks (1.0 = no padding)."""
+    return fill_of(bcsr_block_stats(coo, r, c))
 
 
 def diag_fill(coo: COOMatrix, b: int) -> float:
     """Mean occupancy of the size-``b`` diagonal blocks."""
-    stats = bcsd_block_stats(coo, b)
-    if stats.n_blocks == 0:
-        return 1.0
-    return stats.nnz / stats.nnz_stored
+    return fill_of(bcsd_block_stats(coo, b))
 
 
 def analyze(coo: COOMatrix) -> MatrixStats:

@@ -1,0 +1,165 @@
+"""Stdlib JSON endpoint over :class:`~repro.serve.service.AdvisorService`.
+
+A deliberately small ``http.server`` wrapper — no third-party web framework
+— exposing:
+
+* ``POST /advise`` — body ``{"suite": "<name-or-idx>"}`` or
+  ``{"matrix_market": "<file contents>"}``, plus optional ``model``,
+  ``precision``, ``nthreads``, ``prune``, ``top``; answers with the ranked
+  recommendation as JSON;
+* ``GET /healthz`` — liveness probe;
+* ``GET /stats`` — the service counters (requests, cache hits/misses,
+  errors, timeouts, mean latency, cache entries).
+
+:class:`ThreadingHTTPServer` gives one thread per connection; the service
+underneath is thread-safe, so concurrent ``POST /advise`` requests are
+supported out of the box.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ReproError
+from .service import AdvisorService
+
+__all__ = ["create_server", "serve_forever", "AdvisorRequestHandler"]
+
+logger = logging.getLogger(__name__)
+
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class AdvisorRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's attached :class:`AdvisorService`."""
+
+    server_version = "repro-advisor/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The handler is instantiated per request; the service hangs off the
+    # server object (see create_server).
+    @property
+    def service(self) -> AdvisorService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    # ------------------------------ helpers ----------------------------- #
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # ------------------------------- GET -------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._send_json(200, self.service.stats())
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    # ------------------------------- POST ------------------------------- #
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/advise":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, "missing or oversized request body")
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            self._error(400, f"request body is not valid JSON: {exc}")
+            return
+        if not isinstance(request, dict):
+            self._error(400, "request body must be a JSON object")
+            return
+
+        try:
+            matrix = self._resolve(request)
+        except (ReproError, ValueError, KeyError) as exc:
+            self._error(400, str(exc))
+            return
+
+        options = {}
+        for opt in ("model", "precision", "nthreads", "prune"):
+            if opt in request:
+                options[opt] = request[opt]
+        top = request.get("top", 3)
+        try:
+            rec = self.service.advise(matrix, **options)
+        except ReproError as exc:
+            self._error(422, f"{type(exc).__name__}: {exc}")
+            return
+        except (KeyError, TypeError, ValueError) as exc:
+            # e.g. an unknown suite entry or a bad option value
+            self._error(400, f"{exc.args[0] if exc.args else exc}")
+            return
+
+        payload = rec.to_payload()
+        payload["cache_hit"] = rec.cache_hit
+        payload["elapsed_s"] = rec.elapsed_s
+        payload["best"] = rec.best.to_payload()
+        payload["best"]["label"] = rec.best.label
+        if isinstance(top, int) and top > 0:
+            payload["ranking"] = [r.to_payload() for r in rec.top(top)]
+        payload.pop("features", None)  # verbose; fetch via the library API
+        self._send_json(200, payload)
+
+    def _resolve(self, request: dict):
+        """A COOMatrix (or suite spec) from the request body."""
+        if "matrix_market" in request:
+            from ..matrices.mmio import read_matrix_market_text
+
+            coo = read_matrix_market_text(
+                request["matrix_market"], source="<request>"
+            )
+            return coo.pattern_only()
+        if "suite" in request:
+            return request["suite"]
+        raise ValueError(
+            "request must carry either 'suite' (a suite entry name or "
+            "index) or 'matrix_market' (file contents)"
+        )
+
+
+def create_server(
+    service: AdvisorService,
+    host: str = "127.0.0.1",
+    port: int = 8077,
+) -> ThreadingHTTPServer:
+    """A ready-to-run server; call ``serve_forever()`` (or use a thread)."""
+    server = ThreadingHTTPServer((host, port), AdvisorRequestHandler)
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve_forever(
+    service: AdvisorService,
+    host: str = "127.0.0.1",
+    port: int = 8077,
+) -> None:
+    server = create_server(service, host, port)
+    addr = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    print(f"advisor listening on {addr}  (POST /advise, GET /healthz, /stats)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,486 @@
+"""The thread-safe format-advisor service.
+
+:class:`AdvisorService` wraps the tuning loop of
+:mod:`repro.core.selection` into a long-lived, concurrent, cached service:
+
+* **profile once** — the machine profile is calibrated lazily per precision
+  and shared (read-only) across every request and thread;
+* **prune** — the candidate space is cut down from features before any
+  conversion happens (:mod:`repro.serve.pruning`), unless the caller asks
+  for the exhaustive loop;
+* **cache** — recommendations persist in the fingerprint-keyed
+  :class:`~repro.serve.store.AdvisorStore`, versioned by the profile
+  calibration, so a repeated matrix is answered without touching a model;
+* **batch** — :meth:`AdvisorService.advise_many` evaluates many matrices on
+  a thread pool with per-request error isolation and timeout: one bad
+  matrix yields one :class:`AdviseError` entry, never a failed batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..core.candidates import FIXED_BLOCK_KINDS, Candidate, candidate_space
+from ..core.profiling import ProfileCache
+from ..core.selection import evaluate_candidates
+from ..errors import ModelError, ReproError
+from ..formats.coo import COOMatrix
+from ..machine.machine import MachineModel
+from ..machine.presets import get_preset
+from ..types import Impl, Precision
+from .features import FEATURES_VERSION, MatrixFeatures, extract_features
+from .pruning import PruneConfig, PruneDecision, prune_candidates
+from .store import AdvisorStore, profile_token
+
+__all__ = [
+    "AdviseOptions",
+    "RankedCandidate",
+    "Recommendation",
+    "AdviseError",
+    "AdvisorService",
+    "resolve_matrix",
+]
+
+DEFAULT_MACHINE = "core2-xeon-2.66"
+
+
+def resolve_matrix(matrix: COOMatrix | str | int | Path) -> COOMatrix:
+    """Turn a request's matrix spec into a pattern.
+
+    Accepts a :class:`COOMatrix`, a suite entry name or 1-based index, or a
+    path to a Matrix Market file (detected by suffix / existence).
+    """
+    if isinstance(matrix, COOMatrix):
+        return matrix
+    if isinstance(matrix, int):
+        from ..matrices.suite import get_entry
+
+        return get_entry(matrix).build()
+    spec = str(matrix)
+    path = Path(spec)
+    if path.suffix in (".mtx", ".gz") or path.exists():
+        from ..matrices.mmio import read_matrix_market
+
+        return read_matrix_market(path).pattern_only()
+    from ..matrices.suite import get_entry
+
+    if spec.isdigit():
+        return get_entry(int(spec)).build()
+    return get_entry(spec).build()
+
+
+@dataclass(frozen=True)
+class AdviseOptions:
+    """Everything (besides the matrix and the profile) that determines a
+    recommendation — the options half of the cache key."""
+
+    model: str = "overlap"
+    precision: str = "dp"
+    nthreads: int = 1
+    prune: bool = True
+    max_block_elems: int = 8
+
+    def cache_key(self) -> str:
+        return (
+            f"v{FEATURES_VERSION}|{self.model}|{self.precision}"
+            f"|t{self.nthreads}|p{int(self.prune)}|e{self.max_block_elems}"
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "model": self.model,
+            "precision": self.precision,
+            "nthreads": self.nthreads,
+            "prune": self.prune,
+            "max_block_elems": self.max_block_elems,
+        }
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One entry of a recommendation's ranking."""
+
+    kind: str
+    block: tuple[int, int] | int | None
+    impl: str
+    predicted_s: float
+
+    @property
+    def candidate(self) -> Candidate:
+        return Candidate(self.kind, self.block, Impl(self.impl))
+
+    @property
+    def label(self) -> str:
+        return self.candidate.label
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "block": self.block,
+            "impl": self.impl,
+            "predicted_s": self.predicted_s,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RankedCandidate":
+        block = payload["block"]
+        if isinstance(block, list):
+            block = tuple(block)
+        return cls(
+            kind=payload["kind"],
+            block=block,
+            impl=payload["impl"],
+            predicted_s=payload["predicted_s"],
+        )
+
+
+@dataclass
+class Recommendation:
+    """The advisor's answer for one matrix."""
+
+    fingerprint: str
+    nrows: int
+    ncols: int
+    nnz: int
+    options: AdviseOptions
+    #: Every candidate the selected model scored, best first.
+    ranking: list[RankedCandidate]
+    n_candidates_evaluated: int
+    n_candidates_total: int
+    n_structures_evaluated: int
+    n_structures_total: int
+    elapsed_s: float
+    cache_hit: bool = False
+    features: dict | None = None
+    pruned_structures: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def best(self) -> RankedCandidate:
+        return self.ranking[0]
+
+    def top(self, n: int) -> list[RankedCandidate]:
+        return self.ranking[:n]
+
+    def to_payload(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "nrows": self.nrows,
+            "ncols": self.ncols,
+            "nnz": self.nnz,
+            "options": self.options.to_payload(),
+            "ranking": [r.to_payload() for r in self.ranking],
+            "n_candidates_evaluated": self.n_candidates_evaluated,
+            "n_candidates_total": self.n_candidates_total,
+            "n_structures_evaluated": self.n_structures_evaluated,
+            "n_structures_total": self.n_structures_total,
+            "elapsed_s": self.elapsed_s,
+            "features": self.features,
+            "pruned_structures": self.pruned_structures,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict, *, cache_hit: bool = False
+    ) -> "Recommendation":
+        return cls(
+            fingerprint=payload["fingerprint"],
+            nrows=payload["nrows"],
+            ncols=payload["ncols"],
+            nnz=payload["nnz"],
+            options=AdviseOptions(**payload["options"]),
+            ranking=[
+                RankedCandidate.from_payload(r) for r in payload["ranking"]
+            ],
+            n_candidates_evaluated=payload["n_candidates_evaluated"],
+            n_candidates_total=payload["n_candidates_total"],
+            n_structures_evaluated=payload["n_structures_evaluated"],
+            n_structures_total=payload["n_structures_total"],
+            elapsed_s=payload["elapsed_s"],
+            cache_hit=cache_hit,
+            features=payload.get("features"),
+            pruned_structures=dict(payload.get("pruned_structures", {})),
+        )
+
+
+@dataclass
+class AdviseError:
+    """A failed (or timed-out) request in a batch — never an exception."""
+
+    error: str
+    kind: str = "error"  # "error" | "timeout"
+    elapsed_s: float = 0.0
+
+
+class AdvisorService:
+    """Thread-safe advise/advise_many over one machine model.
+
+    >>> service = AdvisorService()
+    >>> rec = service.advise("dense")
+    >>> rec.best.label
+    'BCSR 8x1 simd'
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel | None = None,
+        *,
+        cache_dir: str | Path | None = ".repro_cache",
+        profile_cache: ProfileCache | None = None,
+        prune_config: PruneConfig | None = None,
+    ) -> None:
+        self.machine = (
+            machine if machine is not None else get_preset(DEFAULT_MACHINE)
+        )
+        self.profile_cache = (
+            profile_cache if profile_cache is not None else ProfileCache()
+        )
+        self.prune_config = (
+            prune_config if prune_config is not None else PruneConfig()
+        )
+        self.store = AdvisorStore(cache_dir) if cache_dir is not None else None
+        self._profile_lock = threading.Lock()
+        self._tokens: dict[Precision, str] = {}
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "errors": 0,
+            "timeouts": 0,
+            "batches": 0,
+        }
+        self._latency_total_s = 0.0
+        self._latency_count = 0
+
+    # ----------------------------- profiling --------------------------- #
+    def _profile_and_token(self, precision: Precision):
+        """The calibrated profile and its cache token (thread-safe)."""
+        with self._profile_lock:
+            profile = self.profile_cache.get(self.machine, precision)
+            token = self._tokens.get(precision)
+            if token is None:
+                token = profile_token(profile)
+                self._tokens[precision] = token
+        return profile, token
+
+    # ------------------------------ advise ----------------------------- #
+    def advise(
+        self,
+        matrix: COOMatrix | str | int | Path,
+        *,
+        model: str = "overlap",
+        precision: Precision | str = "dp",
+        nthreads: int = 1,
+        prune: bool = True,
+        use_cache: bool = True,
+        max_block_elems: int = 8,
+    ) -> Recommendation:
+        """Recommend (format, block, implementation) tuples for ``matrix``."""
+        t0 = time.perf_counter()
+        self._bump("requests")
+        try:
+            rec = self._advise_inner(
+                matrix,
+                AdviseOptions(
+                    model=model,
+                    precision=Precision.coerce(precision).value,
+                    nthreads=nthreads,
+                    prune=prune,
+                    max_block_elems=max_block_elems,
+                ),
+                use_cache=use_cache,
+            )
+        except Exception:
+            self._bump("errors")
+            raise
+        rec.elapsed_s = time.perf_counter() - t0
+        with self._stats_lock:
+            self._latency_total_s += rec.elapsed_s
+            self._latency_count += 1
+        return rec
+
+    def _advise_inner(
+        self,
+        matrix: COOMatrix | str | int | Path,
+        options: AdviseOptions,
+        *,
+        use_cache: bool,
+    ) -> Recommendation:
+        from .features import matrix_fingerprint
+
+        coo = resolve_matrix(matrix)
+        precision = Precision.coerce(options.precision)
+        profile, token = self._profile_and_token(precision)
+        fingerprint = matrix_fingerprint(coo)
+
+        key = None
+        if self.store is not None and use_cache:
+            key = AdvisorStore.key(fingerprint, options.cache_key(), token)
+            payload = self.store.load(key, token=token)
+            if payload is not None:
+                self._bump("cache_hits")
+                return Recommendation.from_payload(payload, cache_hit=True)
+        self._bump("cache_misses")
+
+        candidates = candidate_space(
+            max_block_elems=options.max_block_elems, include_vbl=False
+        )
+        n_structures_total = len({(c.kind, c.block) for c in candidates})
+        features: MatrixFeatures | None = None
+        decision: PruneDecision | None = None
+        pool = candidates
+        if options.prune:
+            features = extract_features(coo)
+            decision = prune_candidates(
+                features, candidates, self.prune_config, precision=precision
+            )
+            pool = decision.kept
+
+        results = evaluate_candidates(
+            coo,
+            self.machine,
+            precision,
+            candidates=pool,
+            models=(options.model,),
+            profile=profile,
+            run_simulation=False,
+            nthreads=options.nthreads,
+        )
+        ranking = _rank(results, options.model)
+        rec = Recommendation(
+            fingerprint=fingerprint,
+            nrows=coo.nrows,
+            ncols=coo.ncols,
+            nnz=coo.nnz,
+            options=options,
+            ranking=ranking,
+            n_candidates_evaluated=len(pool),
+            n_candidates_total=len(candidates),
+            n_structures_evaluated=len({(c.kind, c.block) for c in pool}),
+            n_structures_total=n_structures_total,
+            elapsed_s=0.0,
+            features=features.to_payload() if features is not None else None,
+            pruned_structures=dict(decision.dropped) if decision else {},
+        )
+        if self.store is not None and use_cache and key is not None:
+            self.store.save(
+                key, rec.to_payload(), fingerprint=fingerprint, token=token
+            )
+        return rec
+
+    # --------------------------- batch advise --------------------------- #
+    def advise_many(
+        self,
+        matrices: Sequence[COOMatrix | str | int | Path],
+        *,
+        max_workers: int = 2,
+        timeout_s: float | None = None,
+        **options,
+    ) -> list[Recommendation | AdviseError]:
+        """Advise a batch concurrently; errors and timeouts are isolated.
+
+        Returns one entry per input, in input order: a
+        :class:`Recommendation` on success, an :class:`AdviseError`
+        otherwise.  ``timeout_s`` bounds each request's wait measured from
+        batch start; a timed-out worker keeps running in the background but
+        its slot reports ``kind="timeout"``.
+        """
+        self._bump("batches")
+        t0 = time.perf_counter()
+
+        def worker(m):
+            try:
+                return self.advise(m, **options)
+            except ReproError as exc:
+                self._bump("errors")
+                return AdviseError(
+                    error=f"{type(exc).__name__}: {exc}",
+                    elapsed_s=time.perf_counter() - t0,
+                )
+
+        out: list[Recommendation | AdviseError] = []
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(worker, m) for m in matrices]
+            for future in futures:
+                remaining = None
+                if timeout_s is not None:
+                    remaining = max(0.0, timeout_s - (time.perf_counter() - t0))
+                try:
+                    out.append(future.result(timeout=remaining))
+                except FutureTimeoutError:
+                    self._bump("timeouts")
+                    future.cancel()
+                    out.append(
+                        AdviseError(
+                            error=f"timed out after {timeout_s:.1f}s",
+                            kind="timeout",
+                            elapsed_s=time.perf_counter() - t0,
+                        )
+                    )
+                except Exception as exc:  # non-Repro errors stay isolated too
+                    self._bump("errors")
+                    out.append(
+                        AdviseError(
+                            error=f"{type(exc).__name__}: {exc}",
+                            elapsed_s=time.perf_counter() - t0,
+                        )
+                    )
+        return out
+
+    # ------------------------------ stats ------------------------------ #
+    def _bump(self, counter: str) -> None:
+        with self._stats_lock:
+            self._counters[counter] += 1
+
+    def stats(self) -> dict:
+        """A snapshot of the service counters (for ``GET /stats``)."""
+        with self._stats_lock:
+            snap = dict(self._counters)
+            total = self._latency_count
+            snap["mean_latency_s"] = (
+                self._latency_total_s / total if total else 0.0
+            )
+        snap["machine"] = self.machine.name
+        snap["cache_entries"] = (
+            self.store.entry_count() if self.store is not None else 0
+        )
+        snap["persistent_cache"] = self.store is not None
+        return snap
+
+
+def _rank(results, model_name: str) -> list[RankedCandidate]:
+    """Rank evaluated candidates by the model's own prediction.
+
+    Same pool semantics as :func:`repro.core.selection.select_with_model`:
+    fixed-size blockings only, and the implementation-blind MEM model
+    defaults to the scalar kernels.
+    """
+    from ..core.models import MODELS
+
+    model = MODELS[model_name]
+    pool = [
+        r
+        for r in results
+        if model_name in r.predictions
+        and r.candidate.kind in FIXED_BLOCK_KINDS
+    ]
+    if not model.impl_aware:
+        pool = [r for r in pool if r.candidate.impl is Impl.SCALAR]
+    if not pool:
+        raise ModelError(f"model {model_name!r} covered no candidate")
+    pool.sort(key=lambda r: r.predictions[model_name])
+    return [
+        RankedCandidate(
+            kind=r.candidate.kind,
+            block=r.candidate.block,
+            impl=r.candidate.impl.value,
+            predicted_s=r.predictions[model_name],
+        )
+        for r in pool
+    ]

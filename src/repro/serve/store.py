@@ -1,0 +1,115 @@
+"""Atomic, fingerprint-keyed persistence of recommendations.
+
+Entries live under ``<cache_dir>/advisor/`` as one JSON file per
+``(matrix fingerprint, advise options, profile token)`` triple, written via
+tmp-file + ``os.replace`` (the same crash-safe pattern as
+:mod:`repro.engine.shards`) so a killed service never leaves a truncated
+entry behind.
+
+The *profile token* is a content hash of the calibrated machine profile
+(``t_b`` / ``nof`` tables).  Model predictions are a pure function of
+(matrix structure, options, profile), so the token versions the cache
+against everything that is not in the key already: a re-calibrated or
+differently-shaped machine profile — new simulator, changed cost tables,
+different machine preset — yields a different token, and every stale entry
+is invalidated without any manual schema bookkeeping.  Corrupt entries are
+discarded with a warning and simply recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import shutil
+from hashlib import sha256
+from pathlib import Path
+
+from ..bench.harness import (
+    CACHE_DECODE_ERRORS,
+    DEFAULT_CACHE_DIR,
+    atomic_write_json,
+)
+from ..core.profiling import BlockProfile
+
+__all__ = ["AdvisorStore", "profile_token", "ADVISOR_SCHEMA"]
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the entry layout changes (old entries are then ignored).
+ADVISOR_SCHEMA = 1
+
+
+def profile_token(profile: BlockProfile) -> str:
+    """Content hash of a calibrated profile (the cache's version stamp)."""
+    payload = {
+        "machine": profile.machine_name,
+        "precision": profile.precision.value,
+        "t_b": sorted(
+            (repr(k), round(v, 15)) for k, v in profile.t_b.items()
+        ),
+        "nof": sorted(
+            (repr(k), round(v, 15)) for k, v in profile.nof.items()
+        ),
+        "latency_cost_s": profile.latency_cost_s,
+    }
+    return sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
+
+
+class AdvisorStore:
+    """Directory of cached recommendations, one JSON file per key."""
+
+    def __init__(self, cache_dir: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(cache_dir) / "advisor"
+
+    @staticmethod
+    def key(fingerprint: str, options_key: str, token: str) -> str:
+        digest = sha256(
+            f"{fingerprint}|{options_key}|{token}".encode()
+        ).hexdigest()[:24]
+        return digest
+
+    def path(self, key: str) -> Path:
+        return self.root / f"rec_{key}.json"
+
+    def save(
+        self,
+        key: str,
+        payload: dict,
+        *,
+        fingerprint: str,
+        token: str,
+    ) -> None:
+        atomic_write_json(self.path(key), {
+            "schema": ADVISOR_SCHEMA,
+            "fingerprint": fingerprint,
+            "profile_token": token,
+            "recommendation": payload,
+        })
+
+    def load(self, key: str, *, token: str) -> dict | None:
+        """The cached recommendation payload, or ``None`` if absent/stale."""
+        path = self.path(key)
+        if not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text())
+            if entry["schema"] != ADVISOR_SCHEMA:
+                raise ValueError("schema mismatch")
+            if entry["profile_token"] != token:
+                raise ValueError("stale machine profile")
+            return entry["recommendation"]
+        except CACHE_DECODE_ERRORS as exc:
+            logger.warning(
+                "discarding advisor cache entry %s (%s: %s)",
+                path, type(exc).__name__, exc,
+            )
+            path.unlink(missing_ok=True)
+            return None
+
+    def entry_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("rec_*.json"))
+
+    def clear(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)

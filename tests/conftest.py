@@ -5,9 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.profiling import profile_machine
+from repro.core.profiling import ProfileCache, profile_machine
 from repro.formats import COOMatrix
 from repro.machine import CORE2_XEON
+from repro.types import Precision
 
 
 @pytest.fixture(scope="session")
@@ -30,6 +31,15 @@ def profile_dp(machine):
 @pytest.fixture(scope="session")
 def profile_sp(machine):
     return profile_machine(machine, "sp")
+
+
+@pytest.fixture(scope="session")
+def shared_profile_cache(machine, profile_dp):
+    """A ProfileCache pre-seeded with the session profile, so services in
+    tests never re-calibrate (~2.3s each)."""
+    cache = ProfileCache()
+    cache._cache[(id(machine), Precision.DP, False)] = profile_dp
+    return cache
 
 
 def make_random_coo(

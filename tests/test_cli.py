@@ -128,6 +128,92 @@ class TestSweepDriven:
         assert "sweep ready" in capsys.readouterr().out
 
 
+class TestAdviseCLI:
+    def test_advise_dense_matches_exhaustive(self, capsys, tmp_path,
+                                             machine, shared_profile_cache,
+                                             monkeypatch):
+        """Acceptance: ``advise dense --top 3`` leads with the candidate the
+        exhaustive AutoTuner picks under OVERLAP."""
+        from repro.serve import service as service_mod
+
+        # Reuse the session profile so the CLI path skips calibration.
+        monkeypatch.setattr(
+            service_mod.AdvisorService,
+            "__init__",
+            _patched_init(shared_profile_cache),
+        )
+        assert cli.main(
+            ["advise", "dense", "--top", "3",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1. BCSR 8x1 simd" in out
+        assert "evaluated 33/105 candidates" in out
+        assert out.count("ms/spmv") == 3
+
+    def test_advise_json_output(self, capsys, tmp_path,
+                                shared_profile_cache, monkeypatch):
+        from repro.serve import service as service_mod
+
+        monkeypatch.setattr(
+            service_mod.AdvisorService,
+            "__init__",
+            _patched_init(shared_profile_cache),
+        )
+        assert cli.main(
+            ["advise", "pwtk", "--json", "--cache-dir", str(tmp_path)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ranking"][0]["kind"] == "bcsr"
+        assert payload["cache_hit"] is False
+
+    def test_advise_unknown_matrix_fails_cleanly(self, capsys, tmp_path):
+        code = cli.main(
+            ["advise", "no-such-matrix", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "no-such-matrix" in capsys.readouterr().err
+
+    def test_advise_rejects_bad_top(self, capsys, tmp_path):
+        code = cli.main(
+            ["advise", "dense", "--top", "0", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "--top" in capsys.readouterr().err
+
+    def test_advise_parser_defaults(self):
+        args = cli._build_advise_parser().parse_args(["dense"])
+        assert args.model == "overlap"
+        assert args.precision == "dp"
+        assert args.top == 3
+        assert args.prune is True
+        assert args.use_cache is True
+        args = cli._build_advise_parser().parse_args(
+            ["dense", "--no-prune", "--no-cache"]
+        )
+        assert args.prune is False
+        assert args.use_cache is False
+
+    def test_serve_parser_defaults(self):
+        args = cli._build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8077
+        args = cli._build_serve_parser().parse_args(["--port", "9000"])
+        assert args.port == 9000
+
+
+def _patched_init(profile_cache):
+    from repro.serve.service import AdvisorService
+
+    original = AdvisorService.__init__
+
+    def init(self, machine=None, **kwargs):
+        kwargs["profile_cache"] = profile_cache
+        original(self, machine, **kwargs)
+
+    return init
+
+
 @pytest.mark.slow
 class TestEngineSmoke:
     """Tier-1 end-to-end smoke: a real ``python -m repro sweep --jobs 2``

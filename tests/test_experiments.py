@@ -206,3 +206,49 @@ class TestReportRendering:
     def test_render_series_handles_none(self):
         out = render_series("x", [1, 2], {"s": [1.0, None]})
         assert "-" in out
+
+
+class TestPartialSweepWarning:
+    @pytest.fixture()
+    def partial_sweep(self, mini_sweep):
+        import dataclasses
+
+        return dataclasses.replace(mini_sweep, missing=[2, 17])
+
+    def test_complete_sweep_renders_clean(self, mini_sweep, capsys):
+        rendered = table2(mini_sweep).render()
+        assert "PARTIAL SWEEP" not in rendered
+        assert "PARTIAL SWEEP" not in capsys.readouterr().err
+
+    def test_footnote_and_stderr_banner(self, partial_sweep, capsys):
+        rendered = table2(partial_sweep).render()
+        assert "PARTIAL SWEEP" in rendered
+        assert "2, 17" in rendered
+        err = capsys.readouterr().err
+        assert "PARTIAL SWEEP" in err
+        assert "!!!" in err
+
+    def test_every_projection_warns(self, partial_sweep, capsys):
+        results = [
+            table2(partial_sweep),
+            table3(partial_sweep),
+            table4(partial_sweep),
+            figure2(partial_sweep),
+            figure3(partial_sweep, "dp"),
+            figure4(partial_sweep, "dp"),
+        ]
+        for result in results:
+            assert "PARTIAL SWEEP" in result.render(), type(result).__name__
+        assert capsys.readouterr().err.count("PARTIAL SWEEP") == len(results)
+
+    def test_warn_if_partial_helpers(self, capsys):
+        from repro.bench.report import missing_note, warn_if_partial
+
+        assert missing_note(()) is None
+        assert warn_if_partial(()) == ""
+        assert capsys.readouterr().err == ""
+        note = missing_note([9, 3])
+        assert "3, 9" in note
+        footnote = warn_if_partial([3])
+        assert footnote.startswith("\n* ")
+        assert "PARTIAL SWEEP" in capsys.readouterr().err

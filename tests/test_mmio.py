@@ -6,6 +6,7 @@ import pytest
 from repro.errors import MatrixMarketError
 from repro.formats import COOMatrix
 from repro.matrices import read_matrix_market, write_matrix_market
+from repro.matrices.mmio import read_matrix_market_text
 
 from .conftest import make_random_coo
 
@@ -124,3 +125,64 @@ class TestReading:
                         "%%MatrixMarket matrix coordinate real general\n")
         with pytest.raises(MatrixMarketError):
             read_matrix_market(p)
+
+    def test_symmetric_write_read_round_trip(self, tmp_path):
+        """A symmetric pattern survives write -> read (the writer stores
+        the expanded general form; the structure must be unchanged)."""
+        sym = read_matrix_market_text("\n".join([
+            "%%MatrixMarket matrix coordinate pattern symmetric",
+            "4 4 4",
+            "1 1",
+            "3 1",
+            "4 2",
+            "4 4",
+        ]))
+        path = tmp_path / "sym.mtx"
+        write_matrix_market(path, sym)
+        assert read_matrix_market(path) == sym
+
+
+class TestTextAPI:
+    """read_matrix_market_text: the in-memory entry point the HTTP advisor
+    uses for POSTed Matrix Market payloads."""
+
+    def test_matches_file_reader(self, tmp_path):
+        coo = make_random_coo(15, 11, 60, seed=81)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, coo)
+        assert read_matrix_market_text(path.read_text()) == coo
+
+    def test_pattern_round_trip(self, tmp_path):
+        coo = make_random_coo(10, 10, 30, seed=82, with_values=False)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, coo)
+        back = read_matrix_market_text(path.read_text())
+        assert back == coo
+        assert back.values is None
+
+    def test_symmetric_expansion(self):
+        coo = read_matrix_market_text("\n".join([
+            "%%MatrixMarket matrix coordinate real symmetric",
+            "3 3 2",
+            "1 1 2.0",
+            "3 1 5.0",
+        ]))
+        dense = coo.to_dense()
+        assert dense[0, 2] == dense[2, 0] == 5.0
+        assert coo.nnz == 3
+
+    def test_malformed_header_raises(self):
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market_text("not a header\n1 1 0\n")
+
+    def test_source_label_in_error(self):
+        with pytest.raises(MatrixMarketError, match="payload"):
+            read_matrix_market_text("garbage\n", source="payload")
+
+    def test_truncated_body_raises(self):
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market_text("\n".join([
+                "%%MatrixMarket matrix coordinate real general",
+                "2 2 2",
+                "1 1 1.0",
+            ]))

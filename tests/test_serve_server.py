@@ -1,0 +1,157 @@
+"""Tests for the advisor HTTP endpoint (stdlib http.server)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.matrices.mmio import write_matrix_market
+from repro.serve.server import create_server
+from repro.serve.service import AdvisorService
+
+from .conftest import make_random_coo
+
+
+@pytest.fixture()
+def server(machine, shared_profile_cache, tmp_path):
+    service = AdvisorService(
+        machine, cache_dir=tmp_path, profile_cache=shared_profile_cache
+    )
+    srv = create_server(service, port=0)  # ephemeral port
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def _get(server, path):
+    port = server.server_address[1]
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=30
+    ) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(server, body, path="/advise"):
+    port = server.server_address[1]
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _mtx_text(seed=21):
+    import tempfile
+    from pathlib import Path
+
+    coo = make_random_coo(96, 96, 700, seed=seed, with_values=False)
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "m.mtx"
+        write_matrix_market(path, coo)
+        return path.read_text()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = _get(server, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/nope")
+        assert err.value.code == 404
+        status, _ = _post(server, {"suite": "dense"}, path="/nope")
+        assert status == 404
+
+    def test_stats_shape(self, server):
+        status, stats = _get(server, "/stats")
+        assert status == 200
+        for key in (
+            "requests", "cache_hits", "cache_misses", "errors",
+            "timeouts", "mean_latency_s", "cache_entries", "machine",
+        ):
+            assert key in stats
+
+
+class TestAdviseEndpoint:
+    def test_concurrent_posts_then_cache_hit(self, server):
+        """Acceptance: two concurrent POST /advise threads both get valid
+        JSON; an identical repeat is a cache hit, visible in /stats."""
+        body = {"matrix_market": _mtx_text(), "top": 2}
+        results = [None, None]
+
+        def worker(i):
+            results[i] = _post(server, body)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        for status, payload in results:
+            assert status == 200
+            assert payload["best"]["label"]
+            assert len(payload["ranking"]) <= 2
+            assert payload["nnz"] > 0
+
+        status, payload = _post(server, body)
+        assert status == 200
+        assert payload["cache_hit"]
+
+        _, stats = _get(server, "/stats")
+        assert stats["requests"] == 3
+        assert stats["cache_hits"] >= 1
+        assert stats["cache_hits"] + stats["cache_misses"] == 3
+
+    def test_suite_entry_by_name(self, server):
+        status, payload = _post(server, {"suite": "pwtk", "top": 1})
+        assert status == 200
+        assert payload["best"]["label"] == "BCSR 6x1 simd"
+        assert len(payload["ranking"]) == 1
+
+    def test_model_option_respected(self, server):
+        status, payload = _post(
+            server, {"suite": "pwtk", "model": "mem", "top": 1}
+        )
+        assert status == 200
+        assert payload["options"]["model"] == "mem"
+        assert payload["best"]["impl"] == "scalar"
+
+    def test_unknown_suite_400(self, server):
+        status, payload = _post(server, {"suite": "no-such-matrix"})
+        assert status == 400
+        assert "no-such-matrix" in payload["error"]
+
+    def test_missing_matrix_key_400(self, server):
+        status, payload = _post(server, {"top": 3})
+        assert status == 400
+        assert "suite" in payload["error"]
+
+    def test_invalid_json_400(self, server):
+        status, payload = _post(server, b"{not json")
+        assert status == 400
+        assert "JSON" in payload["error"]
+
+    def test_malformed_matrix_market_400(self, server):
+        status, payload = _post(server, {"matrix_market": "not a header\n"})
+        assert status == 400
+        assert "error" in payload
+
+    def test_empty_body_400(self, server):
+        status, payload = _post(server, b"")
+        assert status == 400

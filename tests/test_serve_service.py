@@ -1,0 +1,179 @@
+"""Tests for the thread-safe AdvisorService (advise, cache, batch API)."""
+
+import pytest
+
+from repro.serve.service import (
+    AdviseError,
+    AdviseOptions,
+    AdvisorService,
+    Recommendation,
+    resolve_matrix,
+)
+
+from .conftest import make_random_coo
+
+
+@pytest.fixture()
+def service(machine, shared_profile_cache, tmp_path):
+    return AdvisorService(
+        machine, cache_dir=tmp_path, profile_cache=shared_profile_cache
+    )
+
+
+@pytest.fixture(scope="module")
+def small():
+    return make_random_coo(200, 200, 2000, seed=3, with_values=False)
+
+
+class TestResolveMatrix:
+    def test_coo_passthrough(self, small):
+        assert resolve_matrix(small) is small
+
+    def test_suite_name_and_index(self):
+        by_name = resolve_matrix("dense")
+        by_idx = resolve_matrix(1)
+        by_digit = resolve_matrix("1")
+        assert by_name.nnz == by_idx.nnz == by_digit.nnz
+
+    def test_mtx_path(self, tmp_path, small):
+        from repro.matrices.mmio import write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, small)
+        assert resolve_matrix(path).nnz == small.nnz
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError):
+            resolve_matrix("no-such-matrix")
+
+
+class TestAdvise:
+    def test_returns_ranked_recommendation(self, service, small):
+        rec = service.advise(small)
+        assert isinstance(rec, Recommendation)
+        assert rec.nnz == small.nnz
+        assert not rec.cache_hit
+        preds = [r.predicted_s for r in rec.ranking]
+        assert preds == sorted(preds)
+        assert rec.best is rec.ranking[0]
+        assert rec.n_candidates_evaluated <= rec.n_candidates_total / 3
+
+    def test_no_prune_evaluates_everything(self, service, small):
+        rec = service.advise(small, prune=False)
+        assert rec.n_candidates_evaluated == rec.n_candidates_total
+        assert rec.pruned_structures == {}
+
+    def test_cache_hit_on_second_call(self, service, small):
+        first = service.advise(small)
+        second = service.advise(small)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert [r.to_payload() for r in second.ranking] == [
+            r.to_payload() for r in first.ranking
+        ]
+        stats = service.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+        assert stats["cache_entries"] == 1
+
+    def test_options_key_cache_separation(self, service, small):
+        service.advise(small, model="overlap")
+        rec = service.advise(small, model="mem")
+        assert not rec.cache_hit  # different options -> different entry
+        assert service.stats()["cache_entries"] == 2
+
+    def test_use_cache_false_recomputes(self, service, small):
+        service.advise(small)
+        rec = service.advise(small, use_cache=False)
+        assert not rec.cache_hit
+
+    def test_memoryless_service(self, machine, shared_profile_cache, small):
+        service = AdvisorService(
+            machine, cache_dir=None, profile_cache=shared_profile_cache
+        )
+        rec = service.advise(small)
+        assert not rec.cache_hit
+        stats = service.stats()
+        assert not stats["persistent_cache"]
+        assert stats["cache_entries"] == 0
+
+    def test_mem_model_ranking_is_scalar_only(self, service, small):
+        rec = service.advise(small, model="mem")
+        assert all(r.impl == "scalar" for r in rec.ranking)
+
+    def test_error_counted(self, service):
+        with pytest.raises(KeyError):
+            service.advise("no-such-matrix")
+        assert service.stats()["errors"] == 1
+
+
+class TestAdviseDenseParity:
+    def test_matches_exhaustive_autotuner(
+        self, machine, shared_profile_cache, tmp_path
+    ):
+        """Acceptance: pruned advise on 'dense' picks exactly the candidate
+        the exhaustive AutoTuner selects with the OVERLAP model."""
+        from repro.core.selection import AutoTuner
+
+        coo = resolve_matrix("dense")
+        tuner = AutoTuner(machine, profile_cache=shared_profile_cache)
+        exhaustive = tuner.select(coo, precision="dp", model="overlap")
+        service = AdvisorService(
+            machine, cache_dir=tmp_path, profile_cache=shared_profile_cache
+        )
+        rec = service.advise("dense", model="overlap")
+        assert rec.best.candidate == exhaustive.candidate
+        assert rec.best.predicted_s == pytest.approx(
+            exhaustive.predictions["overlap"]
+        )
+
+
+class TestAdviseMany:
+    def test_batch_order_and_concurrency(self, service):
+        matrices = [
+            make_random_coo(150, 150, 1200, seed=s, with_values=False)
+            for s in (11, 12, 13)
+        ]
+        out = service.advise_many(matrices, max_workers=2)
+        assert len(out) == 3
+        for coo, rec in zip(matrices, out):
+            assert isinstance(rec, Recommendation)
+            assert rec.nnz == coo.nnz
+
+    def test_error_isolation(self, service, small):
+        out = service.advise_many([small, "no-such-matrix", small])
+        assert isinstance(out[0], Recommendation)
+        assert isinstance(out[1], AdviseError)
+        assert isinstance(out[2], Recommendation)
+        assert "no-such-matrix" in out[1].error
+        assert service.stats()["errors"] >= 1
+
+    def test_timeout_isolated(self, service):
+        out = service.advise_many(["dense"], timeout_s=0.001)
+        assert len(out) == 1
+        assert isinstance(out[0], AdviseError)
+        assert out[0].kind == "timeout"
+        assert service.stats()["timeouts"] == 1
+
+    def test_latency_tracked(self, service, small):
+        service.advise_many([small])
+        stats = service.stats()
+        assert stats["batches"] == 1
+        assert stats["mean_latency_s"] > 0
+
+
+class TestRecommendationPayload:
+    def test_round_trip(self, service, small):
+        rec = service.advise(small)
+        back = Recommendation.from_payload(rec.to_payload(), cache_hit=True)
+        assert back.fingerprint == rec.fingerprint
+        assert back.options == rec.options
+        assert back.cache_hit
+        assert back.best.candidate == rec.best.candidate
+        assert isinstance(back.best.block, (tuple, int, type(None)))
+
+    def test_options_cache_key_distinguishes(self):
+        a = AdviseOptions()
+        b = AdviseOptions(prune=False)
+        c = AdviseOptions(model="mem")
+        assert len({a.cache_key(), b.cache_key(), c.cache_key()}) == 3

@@ -1,0 +1,71 @@
+"""Tests for the fingerprint-keyed recommendation store."""
+
+import json
+
+from repro.serve.store import ADVISOR_SCHEMA, AdvisorStore, profile_token
+
+
+def _payload():
+    return {"best": "bcsr 2x2", "predicted_s": 1.5e-3}
+
+
+class TestProfileToken:
+    def test_stable(self, profile_dp):
+        assert profile_token(profile_dp) == profile_token(profile_dp)
+
+    def test_distinguishes_precisions(self, profile_dp, profile_sp):
+        assert profile_token(profile_dp) != profile_token(profile_sp)
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        store = AdvisorStore(tmp_path)
+        key = AdvisorStore.key("fp", "opts", "tok")
+        store.save(key, _payload(), fingerprint="fp", token="tok")
+        assert store.load(key, token="tok") == _payload()
+        assert store.entry_count() == 1
+
+    def test_missing_entry(self, tmp_path):
+        store = AdvisorStore(tmp_path)
+        assert store.load("no-such-key", token="tok") is None
+        assert store.entry_count() == 0
+
+    def test_stale_profile_token_invalidates(self, tmp_path):
+        store = AdvisorStore(tmp_path)
+        key = AdvisorStore.key("fp", "opts", "old")
+        store.save(key, _payload(), fingerprint="fp", token="old")
+        assert store.load(key, token="recalibrated") is None
+        # The stale entry is discarded, not left to fail forever.
+        assert store.entry_count() == 0
+
+    def test_corrupt_entry_discarded(self, tmp_path):
+        store = AdvisorStore(tmp_path)
+        key = AdvisorStore.key("fp", "opts", "tok")
+        store.save(key, _payload(), fingerprint="fp", token="tok")
+        store.path(key).write_text("{truncated")
+        assert store.load(key, token="tok") is None
+        assert not store.path(key).exists()
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        store = AdvisorStore(tmp_path)
+        key = AdvisorStore.key("fp", "opts", "tok")
+        store.save(key, _payload(), fingerprint="fp", token="tok")
+        entry = json.loads(store.path(key).read_text())
+        entry["schema"] = ADVISOR_SCHEMA + 1
+        store.path(key).write_text(json.dumps(entry))
+        assert store.load(key, token="tok") is None
+
+    def test_key_depends_on_all_parts(self):
+        base = AdvisorStore.key("fp", "opts", "tok")
+        assert AdvisorStore.key("fp2", "opts", "tok") != base
+        assert AdvisorStore.key("fp", "opts2", "tok") != base
+        assert AdvisorStore.key("fp", "opts", "tok2") != base
+
+    def test_clear(self, tmp_path):
+        store = AdvisorStore(tmp_path)
+        for i in range(3):
+            key = AdvisorStore.key(f"fp{i}", "opts", "tok")
+            store.save(key, _payload(), fingerprint=f"fp{i}", token="tok")
+        assert store.entry_count() == 3
+        store.clear()
+        assert store.entry_count() == 0
