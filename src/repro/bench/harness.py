@@ -18,16 +18,23 @@ from __future__ import annotations
 
 import json
 import logging
-import os
 import time
 from dataclasses import asdict, dataclass, field
 from hashlib import sha256
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..core.candidates import Candidate, candidate_space
-from ..core.profiling import ProfileCache
+from ..core.profiling import BlockProfile, ProfileCache
 from ..core.selection import evaluate_candidates
+
+# Re-exported here for backwards compatibility: these helpers started life
+# in this module and grew callers across bench/, engine/ and serve/.
+from ..ioutils import (  # noqa: F401
+    CACHE_DECODE_ERRORS,
+    atomic_write_json,
+    remove_stale_tmp_files,
+)
 from ..machine.machine import MachineModel
 from ..machine.presets import get_preset
 from ..matrices.suite import SUITE, SuiteEntry, get_entry
@@ -44,6 +51,7 @@ __all__ = [
     "run_sweep",
     "load_or_run_sweep",
     "DEFAULT_CACHE_DIR",
+    "PHASE_NAMES",
 ]
 
 logger = logging.getLogger(__name__)
@@ -55,23 +63,8 @@ DEFAULT_CACHE_DIR = Path(".repro_cache")
 
 MODEL_NAMES = ("mem", "memcomp", "overlap")
 
-#: Exceptions that mark a cache file as corrupt (truncated write, schema
-#: drift, hand-edited JSON) rather than as a programming error.
-CACHE_DECODE_ERRORS = (json.JSONDecodeError, KeyError, TypeError, ValueError)
-
-
-def atomic_write_json(path: str | Path, payload: object) -> None:
-    """Write ``payload`` as JSON atomically (tmp file + ``os.replace``).
-
-    A crash mid-write leaves at worst a stale ``*.tmp`` file next to the
-    target, never a truncated target: readers see either the old content
-    or the new one.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(payload))
-    os.replace(tmp, path)
+#: The per-shard phase-timing keys, in reporting order (``--profile``).
+PHASE_NAMES = ("convert", "stats", "simulate", "models")
 
 
 @dataclass(frozen=True)
@@ -125,7 +118,14 @@ class SweepRecord:
 
 @dataclass
 class MatrixSweep:
-    """All data points for one suite matrix."""
+    """All data points for one suite matrix.
+
+    :func:`sweep_matrix` additionally attaches a ``_phase_timings`` dict
+    (phase name → seconds; see :data:`PHASE_NAMES`) as a plain attribute.
+    Being a non-field attribute it survives pickling between engine workers
+    but stays out of ``asdict`` — and therefore out of the persisted shard
+    payloads and ``SweepResult.canonical_json()``.
+    """
 
     idx: int
     name: str
@@ -239,12 +239,17 @@ def sweep_matrix(
     *,
     machine: MachineModel | None = None,
     profile_cache: ProfileCache | None = None,
+    simulate_fn: Callable | None = None,
 ) -> MatrixSweep:
     """Sweep every candidate over one suite matrix (one engine shard).
 
     Deterministic in ``(entry, config)``: the record order and every value
     are identical no matter which process or worker runs it — the property
     the engine's parallel path relies on.
+
+    ``simulate_fn`` overrides the execution simulator (the bit-identity
+    tests and the benchmark baseline pass
+    :func:`repro.machine.executor.simulate_reference`).
     """
     machine = machine if machine is not None else get_preset(config.machine_name)
     profile_cache = profile_cache if profile_cache is not None else ProfileCache()
@@ -264,6 +269,8 @@ def sweep_matrix(
         ncols=coo.ncols,
         nnz=coo.nnz,
     )
+    timings: dict[str, float] = {}
+    sweep._phase_timings = timings
     fmt_cache: dict = {}
     for precision in config.precisions:
         for nthreads in config.thread_counts:
@@ -277,6 +284,8 @@ def sweep_matrix(
                 profile_cache=profile_cache,
                 nthreads=nthreads,
                 fmt_cache=fmt_cache,
+                timings=timings,
+                simulate_fn=simulate_fn,
             )
             for res in results:
                 cand = res.candidate
@@ -306,15 +315,20 @@ def run_sweep(
     *,
     machine: MachineModel | None = None,
     progress: bool = False,
+    profile_cache: ProfileCache | None = None,
+    simulate_fn: Callable | None = None,
 ) -> SweepResult:
     """Run the sweep serially in-process (no caching, no pool).
 
     This is the reference path the engine's parallel output is tested
     against; production runs go through :func:`load_or_run_sweep`.
-    ``entries`` defaults to ``config.entries()``.
+    ``entries`` defaults to ``config.entries()``.  ``profile_cache`` lets
+    callers share one calibration across runs; ``simulate_fn`` overrides
+    the execution simulator (see :func:`sweep_matrix`).
     """
     machine = machine if machine is not None else get_preset(config.machine_name)
-    profile_cache = ProfileCache()
+    if profile_cache is None:
+        profile_cache = ProfileCache()
 
     t_start = time.perf_counter()
     matrices: list[MatrixSweep] = []
@@ -322,7 +336,11 @@ def run_sweep(
         t0 = time.perf_counter()
         matrices.append(
             sweep_matrix(
-                entry, config, machine=machine, profile_cache=profile_cache
+                entry,
+                config,
+                machine=machine,
+                profile_cache=profile_cache,
+                simulate_fn=simulate_fn,
             )
         )
         if progress:
@@ -346,6 +364,7 @@ def load_or_run_sweep(
     jobs: int | None = 1,
     resume: bool = True,
     run_log: str | Path | None = None,
+    profile: bool = False,
 ) -> SweepResult:
     """Return the cached sweep for ``config``, running it if absent.
 
@@ -355,12 +374,18 @@ def load_or_run_sweep(
     * ``resume`` — reuse per-matrix shards left by an interrupted sweep;
       ``False`` discards them and recomputes everything.
     * ``run_log`` — append machine-readable JSONL engine events here.
+    * ``profile`` — print a per-shard and aggregate phase-timing breakdown
+      (convert / stats / simulate / models seconds) after the sweep.
 
     A corrupt or truncated monolithic cache file is discarded with a
     warning and the sweep re-runs (from its shards, when they survive).
     The monolithic file is only (re)written once the sweep is complete,
     i.e. no shard was quarantined.
     """
+    # Opening the cache dir is the natural place to collect orphaned tmp
+    # files left by crashed writers (ours or a sibling process's).
+    if Path(cache_dir).is_dir():
+        remove_stale_tmp_files(cache_dir)
     cache_path = Path(cache_dir) / f"sweep_{config.fingerprint()}.json"
     if cache_path.exists():
         try:
@@ -374,12 +399,14 @@ def load_or_run_sweep(
 
     # Imported here, not at module top: the engine is built on top of this
     # module and importing it eagerly would be circular.
-    from ..engine.events import JsonlReporter, ProgressReporter
+    from ..engine.events import JsonlReporter, PhaseReporter, ProgressReporter
     from ..engine.pool import SweepEngine
 
     reporters = []
     if progress:
         reporters.append(ProgressReporter())
+    if profile:
+        reporters.append(PhaseReporter())
     log_reporter = None
     if run_log is not None:
         log_reporter = JsonlReporter(run_log)

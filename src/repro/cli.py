@@ -98,6 +98,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append machine-readable JSONL engine events to PATH",
     )
+    engine.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the per-shard phase-timing breakdown "
+            "(convert/stats/simulate/models seconds)"
+        ),
+    )
     subset = parser.add_argument_group(
         "sweep subsetting (each combination caches separately)"
     )
@@ -228,6 +236,11 @@ def _build_advise_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the full recommendation as JSON instead of a table",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the evaluation's phase-timing breakdown",
+    )
     return parser
 
 
@@ -288,6 +301,14 @@ def _advise_main(argv: Sequence[str]) -> int:
             f"  {rank}. {r.label:<{width}}  "
             f"predicted {r.predicted_s * 1e3:.3f} ms/spmv"
         )
+    if args.profile:
+        if rec.phase_timings:
+            breakdown = " ".join(
+                f"{k}={v:.3f}s" for k, v in sorted(rec.phase_timings.items())
+            )
+            print(f"  phases: {breakdown}")
+        else:
+            print("  phases: n/a (served from a cache entry without timings)")
     return 0
 
 
@@ -329,6 +350,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             jobs=args.jobs,  # None = os.cpu_count(), resolved by the engine
             resume=args.resume,
             run_log=args.run_log,
+            profile=args.profile,
         )
         if sweep.missing:
             print(

@@ -20,7 +20,14 @@ two dense-matrix profiles — keeping prediction accuracy an honest result.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import logging
 from dataclasses import dataclass, field, replace
+from enum import Enum
+from hashlib import sha256
+from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
@@ -30,12 +37,24 @@ from ..formats.bcsd import BCSDMatrix
 from ..formats.bcsr import BCSRMatrix
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
+from ..ioutils import CACHE_DECODE_ERRORS, atomic_write_json, remove_stale_tmp_files
 from ..machine.executor import simulate
 from ..machine.machine import MachineModel
 from ..types import DEFAULT_MAX_BLOCK_ELEMS, Impl, Precision
 from .candidates import diag_sizes, rect_shapes
 
-__all__ = ["BlockProfile", "profile_machine", "ProfileCache", "dense_coo"]
+__all__ = [
+    "BlockProfile",
+    "profile_machine",
+    "ProfileCache",
+    "ProfileStore",
+    "dense_coo",
+    "machine_token",
+    "profile_to_payload",
+    "profile_from_payload",
+]
+
+logger = logging.getLogger(__name__)
 
 #: Row/column count of the small (in-L1) and large (out-of-L2) dense
 #: profiling matrices.  40x40 in CSR double precision is ~21 KiB (< 32 KiB
@@ -263,6 +282,190 @@ class ProfileCache:
             )
         return self._cache[key]
 
+    def seed(
+        self,
+        machine: MachineModel,
+        profile: BlockProfile,
+        *,
+        calibrate_latency: bool = False,
+    ) -> None:
+        """Pre-populate with an externally calibrated (or shipped) profile.
+
+        This is the sweep engine's warm-start hook: the parent process
+        calibrates once, serializes the profile into each
+        :class:`~repro.engine.tasks.ShardTask`, and workers seed their
+        per-process cache instead of re-running the ~2.3–3.7 s calibration.
+        A profile already cached for the key is kept (first seed wins).
+        """
+        key = (id(machine), profile.precision, calibrate_latency)
+        self._cache.setdefault(key, profile)
+
 
 #: Module-level default cache used by the selection helpers.
 DEFAULT_PROFILE_CACHE = ProfileCache()
+
+
+# ---------------------------------------------------------------------- #
+# Disk persistence of calibrated profiles
+# ---------------------------------------------------------------------- #
+
+#: Bump when the profile payload layout *or the calibration methodology*
+#: changes (profiling matrix sizes, the nof formula, the simulator's
+#: observable behaviour) — stale on-disk profiles are then ignored.
+PROFILE_SCHEMA = 1
+
+
+def _normalize(obj):
+    """A JSON-serializable, deterministic view of a (nested) dataclass."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _normalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, Mapping):
+        return sorted((str(_normalize(k)), _normalize(v)) for k, v in obj.items())
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(o) for o in obj]
+    return obj
+
+
+def machine_token(machine: MachineModel) -> str:
+    """Content hash of the full machine description.
+
+    Two machines with identical descriptions profile identically (profiling
+    is deterministic), so this token — unlike the in-memory caches' ``id()``
+    key — is a valid *cross-process* cache key.
+    """
+    payload = json.dumps(_normalize(machine), sort_keys=True)
+    return sha256(payload.encode()).hexdigest()[:16]
+
+
+def _encode_key(key: tuple) -> list:
+    (kind, block), impl = key
+    return [kind, list(block) if isinstance(block, tuple) else block, impl.value]
+
+
+def _decode_key(entry: list) -> tuple:
+    kind, block, impl = entry
+    block = tuple(block) if isinstance(block, list) else block
+    return ((kind, block), Impl(impl))
+
+
+def profile_to_payload(profile: BlockProfile) -> dict:
+    """A JSON-safe encoding of a profile.
+
+    Floats survive the JSON round trip exactly (shortest-repr encoding
+    parses back to the same double), so a profile loaded from disk produces
+    bit-identical predictions to the freshly calibrated one.
+    """
+    return {
+        "machine_name": profile.machine_name,
+        "precision": profile.precision.value,
+        "t_b": sorted(
+            (_encode_key(k) + [v] for k, v in profile.t_b.items()),
+            key=lambda e: json.dumps(e[:3]),
+        ),
+        "nof": sorted(
+            (_encode_key(k) + [v] for k, v in profile.nof.items()),
+            key=lambda e: json.dumps(e[:3]),
+        ),
+        "latency_cost_s": profile.latency_cost_s,
+    }
+
+
+def profile_from_payload(payload: Mapping) -> BlockProfile:
+    """Rebuild a :class:`BlockProfile` from :func:`profile_to_payload`."""
+    return BlockProfile(
+        machine_name=payload["machine_name"],
+        precision=Precision(payload["precision"]),
+        t_b={_decode_key(e[:3]): e[3] for e in payload["t_b"]},
+        nof={_decode_key(e[:3]): e[3] for e in payload["nof"]},
+        latency_cost_s=payload["latency_cost_s"],
+    )
+
+
+class ProfileStore(ProfileCache):
+    """A :class:`ProfileCache` backed by ``<cache_dir>/profiles/`` on disk.
+
+    Entries are keyed by a content hash of the machine description plus the
+    calibration parameters, so a changed preset, simulator or profiling
+    methodology (via :data:`PROFILE_SCHEMA`) never serves a stale profile.
+    The JSON round trip is float-exact: a disk-served profile is
+    indistinguishable from a fresh calibration, keeping every downstream
+    output byte-identical.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        super().__init__()
+        self.root = Path(cache_dir) / "profiles"
+        remove_stale_tmp_files(self.root)
+
+    def path(
+        self,
+        machine: MachineModel,
+        precision: Precision,
+        calibrate_latency: bool,
+    ) -> Path:
+        token_src = "|".join(
+            (
+                machine_token(machine),
+                precision.value,
+                f"lat{int(calibrate_latency)}",
+                f"s{PROFILE_SCHEMA}",
+                f"b{DEFAULT_MAX_BLOCK_ELEMS}",
+            )
+        )
+        token = sha256(token_src.encode()).hexdigest()[:16]
+        return self.root / f"profile_{token}.json"
+
+    def get(
+        self,
+        machine: MachineModel,
+        precision: Precision | str,
+        *,
+        calibrate_latency: bool = False,
+    ) -> BlockProfile:
+        profile, _ = self.get_with_source(
+            machine, precision, calibrate_latency=calibrate_latency
+        )
+        return profile
+
+    def get_with_source(
+        self,
+        machine: MachineModel,
+        precision: Precision | str,
+        *,
+        calibrate_latency: bool = False,
+    ) -> tuple[BlockProfile, str]:
+        """The profile plus where it came from: memory / disk / calibrated."""
+        precision = Precision.coerce(precision)
+        key = (id(machine), precision, calibrate_latency)
+        if key in self._cache:
+            return self._cache[key], "memory"
+        path = self.path(machine, precision, calibrate_latency)
+        if path.exists():
+            try:
+                payload = json.loads(path.read_text())
+                if payload["schema"] != PROFILE_SCHEMA:
+                    raise ValueError("schema mismatch")
+                profile = profile_from_payload(payload["profile"])
+                self._cache[key] = profile
+                return profile, "disk"
+            except CACHE_DECODE_ERRORS as exc:
+                logger.warning(
+                    "discarding corrupt profile cache %s (%s: %s); recalibrating",
+                    path, type(exc).__name__, exc,
+                )
+                path.unlink(missing_ok=True)
+        profile = profile_machine(
+            machine, precision, calibrate_latency=calibrate_latency
+        )
+        self._cache[key] = profile
+        atomic_write_json(path, {
+            "schema": PROFILE_SCHEMA,
+            "machine": machine.name,
+            "profile": profile_to_payload(profile),
+        })
+        return profile, "calibrated"

@@ -12,8 +12,9 @@ the best (format, block, implementation) for any matrix and build it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..errors import ModelError
 from ..formats.base import SparseFormat
@@ -43,21 +44,39 @@ __all__ = [
 
 
 class StatsCache:
-    """Per-matrix cache of block-structure analyses, shared across kinds."""
+    """Per-matrix cache of block-structure analyses, shared across kinds.
 
-    def __init__(self, coo: COOMatrix) -> None:
+    Pass a ``timings`` dict to accumulate the seconds spent in the
+    structural analyses under its ``"stats"`` key (the sweep's ``--profile``
+    phase breakdown).
+    """
+
+    def __init__(
+        self, coo: COOMatrix, *, timings: dict | None = None
+    ) -> None:
         self.coo = coo
         self._rect: dict[tuple[int, int], object] = {}
         self._diag: dict[int, object] = {}
+        self._timings = timings
+
+    def _charge(self, t0: float) -> None:
+        if self._timings is not None:
+            self._timings["stats"] = (
+                self._timings.get("stats", 0.0) + time.perf_counter() - t0
+            )
 
     def rect(self, r: int, c: int):
         if (r, c) not in self._rect:
+            t0 = time.perf_counter()
             self._rect[(r, c)] = bcsr_block_stats(self.coo, r, c)
+            self._charge(t0)
         return self._rect[(r, c)]
 
     def diag(self, b: int):
         if b not in self._diag:
+            t0 = time.perf_counter()
             self._diag[b] = bcsd_block_stats(self.coo, b)
+            self._charge(t0)
         return self._diag[b]
 
 
@@ -124,6 +143,8 @@ def evaluate_candidates(
     run_simulation: bool = True,
     nthreads: int = 1,
     fmt_cache: dict | None = None,
+    timings: dict | None = None,
+    simulate_fn: Callable | None = None,
 ) -> list[CandidateResult]:
     """Evaluate every candidate on ``coo``: predictions and simulated time.
 
@@ -131,8 +152,14 @@ def evaluate_candidates(
     omit a prediction for it, as in the paper.
 
     Pass a (caller-owned) ``fmt_cache`` dict to reuse the converted
-    structures — and their memoised cache-miss analyses — across repeated
-    calls for the same matrix (different precisions / thread counts).
+    structures — and their memoised simulation plans and cache-miss
+    analyses — across repeated calls for the same matrix (different
+    precisions / thread counts).
+
+    Pass a ``timings`` dict to accumulate per-phase seconds into its
+    ``"convert"`` / ``"stats"`` / ``"simulate"`` / ``"models"`` keys.
+    ``simulate_fn`` overrides the execution simulator (the bit-identity
+    tests pass :func:`repro.machine.executor.simulate_reference`).
     """
     precision = Precision.coerce(precision)
     if candidates is None:
@@ -142,10 +169,11 @@ def evaluate_candidates(
     if profile is None and needs_profile:
         cache = profile_cache if profile_cache is not None else DEFAULT_PROFILE_CACHE
         profile = cache.get(machine, precision)
+    sim_fn = simulate if simulate_fn is None else simulate_fn
 
-    stats_cache = StatsCache(coo)
+    stats_cache = StatsCache(coo, timings=timings)
     # Build each structure once and share it across scalar/SIMD candidates:
-    # the format object memoises its x-miss analysis.
+    # the format object memoises its simulation plan and x-miss analysis.
     if fmt_cache is None:
         fmt_cache = {}
     results: list[CandidateResult] = []
@@ -153,14 +181,25 @@ def evaluate_candidates(
         fmt_key = (cand.kind, cand.block)
         fmt = fmt_cache.get(fmt_key)
         if fmt is None:
+            t0 = time.perf_counter()
+            stats_s = timings.get("stats", 0.0) if timings is not None else 0.0
             fmt = build_candidate(coo, cand, stats_cache=stats_cache)
             fmt_cache[fmt_key] = fmt
+            if timings is not None:
+                # Conversion time net of the shared structural analysis,
+                # which StatsCache already charged to "stats".
+                timings["convert"] = (
+                    timings.get("convert", 0.0)
+                    + (time.perf_counter() - t0)
+                    - (timings.get("stats", 0.0) - stats_s)
+                )
         res = CandidateResult(
             candidate=cand,
             ws_bytes=fmt.working_set(precision),
             padding_ratio=fmt.padding_ratio,
             n_blocks=fmt.n_blocks,
         )
+        t0 = time.perf_counter()
         for model in model_objs:
             try:
                 res.predictions[model.name] = model.predict(
@@ -168,10 +207,19 @@ def evaluate_candidates(
                 )
             except ModelError:
                 continue  # model does not cover this candidate
+        if timings is not None:
+            timings["models"] = (
+                timings.get("models", 0.0) + time.perf_counter() - t0
+            )
         if run_simulation:
-            res.sim = simulate(
+            t0 = time.perf_counter()
+            res.sim = sim_fn(
                 fmt, machine, precision, cand.impl, nthreads
             )
+            if timings is not None:
+                timings["simulate"] = (
+                    timings.get("simulate", 0.0) + time.perf_counter() - t0
+                )
         results.append(res)
     return results
 

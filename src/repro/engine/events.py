@@ -15,9 +15,16 @@ Kinds and their fields:
 
 ========================  ====================================================
 ``sweep_start``           ``fingerprint, n_shards, jobs, cached, resume``
+``profile_ready``         ``machine, precision, source, elapsed_s`` (the
+                          warm-start calibration; ``source`` is ``memory``,
+                          ``disk`` or ``calibrated``)
 ``shard_cached``          ``shard, matrix`` (served from a completed shard)
 ``shard_start``           ``shard, matrix, attempt`` (submitted to a worker)
-``shard_finish``          ``shard, matrix, attempt, elapsed_s, records``
+``shard_finish``          ``shard, matrix, attempt, elapsed_s, records,``
+                          ``phases`` (phase → seconds breakdown of the
+                          worker's busy time: ``convert`` / ``stats`` /
+                          ``simulate`` / ``models``; ``None`` when the task
+                          function does not report one)
 ``shard_retry``           ``shard, matrix, attempt, backoff_s, error``
 ``shard_quarantined``     ``shard, matrix, attempts, error``
 ``sweep_finish``          ``fingerprint, elapsed_s, completed, cached,``
@@ -39,6 +46,7 @@ __all__ = [
     "EventBus",
     "JsonlReporter",
     "ProgressReporter",
+    "PhaseReporter",
     "CollectingReporter",
 ]
 
@@ -109,7 +117,12 @@ class ProgressReporter:
 
     def handle(self, event: dict) -> None:
         kind = event["event"]
-        if kind == "sweep_start":
+        if kind == "profile_ready":
+            self._print(
+                f"[engine] profile {event['precision']} "
+                f"({event['source']}, {event['elapsed_s']:.1f}s)"
+            )
+        elif kind == "sweep_start":
             self._print(
                 f"[engine] sweep {event['fingerprint']}: "
                 f"{event['n_shards']} shards on {event['jobs']} worker(s), "
@@ -147,3 +160,50 @@ class ProgressReporter:
                 f"{util:.0f}% worker utilization)"
             )
         # shard_start is deliberately silent: submit-time noise.
+
+
+class PhaseReporter:
+    """Per-shard and aggregate phase-timing breakdown (``--profile``).
+
+    Consumes the ``phases`` field of ``shard_finish`` events and prints one
+    line per shard plus, at ``sweep_finish``, totals showing where the
+    sweep's time went (convert / stats / simulate / models, and the
+    residual that none of the instrumented phases account for).
+    """
+
+    #: Reporting order; matches ``repro.bench.harness.PHASE_NAMES``.
+    PHASES = ("convert", "stats", "simulate", "models")
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+        self.totals: dict[str, float] = {}
+        self._busy_s = 0.0
+        self._shards = 0
+
+    def _print(self, line: str) -> None:
+        print(line, file=self._stream, flush=True)
+
+    def _format(self, phases: dict) -> str:
+        return " ".join(
+            f"{name}={phases.get(name, 0.0):6.2f}s" for name in self.PHASES
+        )
+
+    def handle(self, event: dict) -> None:
+        kind = event["event"]
+        if kind == "shard_finish" and event.get("phases"):
+            phases = event["phases"]
+            self._shards += 1
+            self._busy_s += event["elapsed_s"]
+            for name, seconds in phases.items():
+                self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self._print(
+                f"[phases] {event['shard']:3d} {event['matrix']:15s} "
+                f"{self._format(phases)}"
+            )
+        elif kind == "sweep_finish" and self._shards:
+            accounted = sum(self.totals.values())
+            other = max(self._busy_s - accounted, 0.0)
+            self._print(
+                f"[phases] total over {self._shards} shard(s): "
+                f"{self._format(self.totals)} other={other:6.2f}s"
+            )

@@ -21,6 +21,8 @@ Every step is emitted on an :class:`~repro.engine.events.EventBus`.
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -33,9 +35,13 @@ from ..bench.harness import (
     SweepConfig,
     SweepResult,
 )
+from ..core.profiling import BlockProfile, ProfileStore
+from ..machine.presets import get_preset
 from .events import EventBus, Reporter
 from .shards import ShardStore
 from .tasks import ShardTask, plan_shards, run_shard_task
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["SweepEngine", "run_sweep_engine"]
 
@@ -64,6 +70,7 @@ class SweepEngine:
         backoff_cap_s: float = 2.0,
         task_fn: TaskFn = run_shard_task,
         reporters: tuple[Reporter, ...] | list = (),
+        warm_profiles: bool | None = None,
     ) -> None:
         self.config = config
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -74,8 +81,15 @@ class SweepEngine:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.task_fn = task_fn
+        self.cache_dir = Path(cache_dir)
         self.store = ShardStore(cache_dir, config)
         self.bus = EventBus(reporters)
+        # Warm-starting only makes sense for the real task function — the
+        # fault-injection stubs the tests substitute never calibrate, and
+        # paying ~3 s of calibration up front would only slow them down.
+        self.warm_profiles = (
+            (task_fn is run_shard_task) if warm_profiles is None else warm_profiles
+        )
 
     # ------------------------------------------------------------------ #
     def run(self) -> SweepResult:
@@ -108,6 +122,14 @@ class SweepEngine:
 
         pending = [t for t in tasks if t.shard_id not in completed]
         failed: dict[int, str] = {}
+        if pending and self.warm_profiles:
+            # Only when there is real work: a fully cache-served sweep must
+            # not pay the calibration cost.
+            profiles = self._load_profiles()
+            if profiles:
+                pending = [
+                    dataclasses.replace(t, profiles=profiles) for t in pending
+                ]
         if pending:
             if self.jobs == 1:
                 busy_s = self._run_inline(pending, completed, failed)
@@ -144,6 +166,38 @@ class SweepEngine:
         )
 
     # --------------------------- internals ---------------------------- #
+    def _load_profiles(self) -> tuple[BlockProfile, ...]:
+        """Calibrated profiles to warm-start the workers with.
+
+        Served from the on-disk :class:`ProfileStore` when an earlier run
+        already calibrated this machine, calibrated once here otherwise —
+        either way every worker skips its own per-process calibration.
+        Failures fall back to the lazy in-worker path rather than failing
+        the sweep.
+        """
+        try:
+            store = ProfileStore(self.cache_dir)
+            machine = get_preset(self.config.machine_name)
+            profiles = []
+            for precision in self.config.precisions:
+                t0 = time.perf_counter()
+                profile, source = store.get_with_source(machine, precision)
+                profiles.append(profile)
+                self.bus.emit(
+                    "profile_ready",
+                    machine=self.config.machine_name,
+                    precision=str(precision),
+                    source=source,
+                    elapsed_s=time.perf_counter() - t0,
+                )
+            return tuple(profiles)
+        except Exception as exc:  # noqa: BLE001 - warm start is best-effort
+            logger.warning(
+                "profile warm start failed (%s: %s); workers will calibrate "
+                "lazily", type(exc).__name__, exc,
+            )
+            return ()
+
     def _backoff(self, attempt: int) -> float:
         """Bounded exponential backoff before retry ``attempt``."""
         return min(
@@ -161,6 +215,9 @@ class SweepEngine:
         self.store.save(task.shard_id, matrix, elapsed_s=busy)
         self.store.clear_quarantine(task.shard_id)
         completed[task.shard_id] = matrix
+        # The worker attaches its phase breakdown as a non-field attribute;
+        # it survives the pickle back from the pool but not the shard cache.
+        phases = getattr(matrix, "_phase_timings", None)
         self.bus.emit(
             "shard_finish",
             shard=task.shard_id,
@@ -168,6 +225,9 @@ class SweepEngine:
             attempt=attempt,
             elapsed_s=busy,
             records=len(matrix.records),
+            phases={k: round(v, 6) for k, v in phases.items()}
+            if phases
+            else None,
         )
 
     def _record_failure(

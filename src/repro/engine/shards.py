@@ -23,12 +23,15 @@ from dataclasses import asdict
 from pathlib import Path
 
 from ..bench.harness import (
-    CACHE_DECODE_ERRORS,
     DEFAULT_CACHE_DIR,
     MatrixSweep,
     SweepConfig,
-    atomic_write_json,
     matrix_sweep_from_payload,
+)
+from ..ioutils import (
+    CACHE_DECODE_ERRORS,
+    atomic_write_json,
+    remove_stale_tmp_files,
 )
 
 __all__ = ["ShardStore", "SHARD_SCHEMA"]
@@ -50,6 +53,9 @@ class ShardStore:
         self.config = config
         self.fingerprint = config.fingerprint()
         self.root = Path(cache_dir) / "shards" / self.fingerprint
+        # A writer killed mid-save leaves a ``*.tmp`` next to its shard;
+        # opening the store is the natural point to collect those orphans.
+        remove_stale_tmp_files(self.root)
 
     # ----------------------------- paths ----------------------------- #
     def shard_path(self, shard_id: int) -> Path:

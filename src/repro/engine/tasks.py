@@ -10,10 +10,10 @@ in-process or in a forked/spawned worker.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..bench.harness import MatrixSweep, SweepConfig, sweep_matrix
-from ..core.profiling import ProfileCache
+from ..core.profiling import BlockProfile, ProfileCache
 from ..machine.machine import MachineModel
 from ..machine.presets import get_preset
 from ..matrices.suite import get_entry
@@ -30,12 +30,26 @@ class ShardTask:
     #: Suite matrix name (for events and file names only).
     name: str
     config: SweepConfig
+    #: Calibrated profiles (one per precision) shipped to the worker so it
+    #: can seed its per-process cache instead of recalibrating — the
+    #: engine's warm start.  Excluded from equality/hash: two tasks for the
+    #: same shard are the same work whether or not profiles ride along
+    #: (and ``BlockProfile`` holds dicts, which cannot be hashed anyway).
+    profiles: tuple[BlockProfile, ...] = field(
+        default=(), compare=False, repr=False
+    )
 
 
-def plan_shards(config: SweepConfig) -> tuple[ShardTask, ...]:
+def plan_shards(
+    config: SweepConfig,
+    *,
+    profiles: "tuple[BlockProfile, ...]" = (),
+) -> tuple[ShardTask, ...]:
     """Decompose ``config`` into its per-matrix shard tasks, suite order."""
     return tuple(
-        ShardTask(shard_id=e.idx, name=e.name, config=config)
+        ShardTask(
+            shard_id=e.idx, name=e.name, config=config, profiles=profiles
+        )
         for e in config.entries()
     )
 
@@ -61,9 +75,12 @@ def run_shard_task(task: ShardTask) -> MatrixSweep:
     pickled into worker processes.
     """
     entry = get_entry(task.shard_id)
+    machine = _machine_for(task.config.machine_name)
+    for profile in task.profiles:
+        _PROFILE_CACHE.seed(machine, profile)
     return sweep_matrix(
         entry,
         task.config,
-        machine=_machine_for(task.config.machine_name),
+        machine=machine,
         profile_cache=_PROFILE_CACHE,
     )

@@ -31,9 +31,12 @@ def _unique_inverse_counts(
     """``(unique, inverse, counts)`` of an int64 key array.
 
     When the key stream is known to be non-decreasing (r = 1 blockings of a
-    canonical COO), everything falls out of one linear pass; otherwise a
-    plain sort plus ``searchsorted`` beats ``np.unique(return_inverse=True)``
-    (which needs an argsort and a permutation scatter).
+    canonical COO), everything falls out of one linear pass.  Otherwise one
+    ``argsort`` plus a permutation scatter computes the inverse — each
+    element's rank among the unique keys — directly from the sort order,
+    which on blocked-sparsity key streams (many groups relative to ``n``)
+    beats both ``np.unique(return_inverse=True)`` and a value ``sort``
+    followed by a per-element ``searchsorted``.
     """
     n = key.shape[0]
     if n == 0:
@@ -48,14 +51,16 @@ def _unique_inverse_counts(
         starts = np.flatnonzero(new)
         counts = np.diff(np.append(starts, n))
         return ukeys, inverse, counts
-    skey = np.sort(key)
+    order = np.argsort(key, kind="stable")
+    skey = key[order]
     new = np.empty(n, dtype=bool)
     new[0] = True
     np.not_equal(skey[1:], skey[:-1], out=new[1:])
     ukeys = skey[new]
     starts = np.flatnonzero(new)
     counts = np.diff(np.append(starts, n))
-    inverse = np.searchsorted(ukeys, key)
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.cumsum(new, dtype=np.int64) - 1
     return ukeys, inverse, counts
 
 

@@ -1,0 +1,131 @@
+"""Shared filesystem helpers: atomic JSON writes and stale-tmp cleanup.
+
+Every persistent artifact in this package — the monolithic sweep cache, the
+engine's per-matrix shards, the advisor's recommendation entries, the
+calibrated machine profiles — reaches disk through :func:`atomic_write_json`,
+so readers only ever see a complete old file or a complete new one.  The
+write goes to a pid-stamped ``<name>.<pid>-<seq>.tmp`` sibling first and is
+then renamed over the target; the per-process sequence number keeps
+concurrent threads writing the same target from sharing a tmp file.
+
+Two failure modes used to leak those tmp files:
+
+* an exception between creating the tmp file and renaming it (full disk,
+  unserializable payload surfacing mid-write, permission loss) — now handled
+  by the ``try``/``finally``-style cleanup in :func:`atomic_write_json`;
+* a hard crash (``kill -9``, OOM) that no in-process cleanup can catch —
+  handled by :func:`remove_stale_tmp_files`, which every cache-directory
+  owner calls on open to sweep up orphans whose writer is provably gone.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "CACHE_DECODE_ERRORS",
+    "atomic_write_json",
+    "remove_stale_tmp_files",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Exceptions that mark a cache file as corrupt (truncated write, schema
+#: drift, hand-edited JSON) rather than as a programming error.
+CACHE_DECODE_ERRORS = (json.JSONDecodeError, KeyError, TypeError, ValueError)
+
+#: Age past which a ``*.tmp`` file carrying no recognizable writer pid is
+#: considered orphaned.
+STALE_TMP_AGE_S = 3600.0
+
+#: Per-process sequence for tmp-file names: two threads saving the same
+#: target concurrently must not share a tmp file, or the loser's
+#: ``os.replace`` finds it already renamed away.
+_TMP_SEQ = itertools.count()
+
+
+def atomic_write_json(path: str | Path, payload: object) -> None:
+    """Write ``payload`` as JSON atomically (tmp file + ``os.replace``).
+
+    Readers see either the old content or the new one, never a truncated
+    target.  If anything raises between creating the tmp file and renaming
+    it, the tmp file is removed before the exception propagates; tmp files
+    a hard crash still leaves behind are swept by
+    :func:`remove_stale_tmp_files` on the next cache-dir open.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".{os.getpid()}-{next(_TMP_SEQ)}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _writer_pid(name: str) -> int | None:
+    """The pid embedded in a ``<name>.<pid>-<seq>.tmp`` file name, if any.
+
+    Plain ``<name>.<pid>.tmp`` stamps (the pre-sequence layout) parse too.
+    """
+    parts = name.split(".")
+    if len(parts) < 3 or parts[-1] != "tmp":
+        return None
+    pid_part = parts[-2].split("-", 1)[0]
+    if pid_part.isdigit():
+        return int(pid_part)
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # EPERM and friends: the pid exists but belongs to someone else.
+        return True
+    return True
+
+
+def remove_stale_tmp_files(
+    root: str | Path, *, max_age_s: float = STALE_TMP_AGE_S
+) -> list[Path]:
+    """Delete orphaned ``*.tmp`` files directly under ``root``.
+
+    A tmp file is orphaned when the writer pid embedded in its name is no
+    longer alive, or — for tmp files with no recognizable pid — when it is
+    older than ``max_age_s``.  Tmp files of live writers (concurrent
+    processes mid-write, including this one) are left alone.  Returns the
+    removed paths.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    removed: list[Path] = []
+    for tmp in root.glob("*.tmp"):
+        pid = _writer_pid(tmp.name)
+        if pid is not None:
+            stale = not _pid_alive(pid)
+        else:
+            try:
+                stale = time.time() - tmp.stat().st_mtime > max_age_s
+            except OSError:
+                continue  # vanished underneath us
+        if not stale:
+            continue
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            continue
+        logger.warning("removed stale tmp file %s", tmp)
+        removed.append(tmp)
+    return removed

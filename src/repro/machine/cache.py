@@ -1,6 +1,6 @@
 """Cache models for the input-vector access stream.
 
-Two models live here:
+Three models live here:
 
 * :func:`estimate_stream_misses` — the fast *working-set window* estimator
   the execution simulator uses.  It walks the access stream in windows of
@@ -12,11 +12,19 @@ Two models live here:
   that are bandwidth-bound and the latency-bound ones (#12, #14, #15, #28).
   The stream is treated as cyclic (steady state over 100 iterations, as the
   paper measures): the "previous window" of the first window is the last
-  window of the stream.
+  window of the stream.  The implementation is a single vectorized
+  sort-based sweep over ``(window, line)`` incidence pairs — no Python loop
+  over windows.
 
-* :class:`LRUCache` — an exact, tiny, deliberately slow set-associative LRU
-  simulator used by the test suite to sanity-check the estimator's ordering
-  properties on small streams.
+* :func:`estimate_stream_misses_windowed` — the original per-window Python
+  loop (``np.unique`` per window, ``np.isin`` per window pair), kept as the
+  executable specification.  The test suite asserts the vectorized
+  estimator agrees with it exactly on randomized streams, and the sweep
+  benchmark uses it as the pre-optimization baseline.
+
+* :class:`LRUCache` — an exact, tiny, deliberately slow fully-associative
+  LRU simulator used by the test suite to sanity-check the estimators'
+  ordering properties on small streams.
 """
 
 from __future__ import annotations
@@ -25,7 +33,12 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["estimate_stream_misses", "LRUCache", "x_budget_lines"]
+__all__ = [
+    "estimate_stream_misses",
+    "estimate_stream_misses_windowed",
+    "LRUCache",
+    "x_budget_lines",
+]
 
 
 def x_budget_lines(
@@ -59,6 +72,61 @@ def estimate_stream_misses(
         in the working set and a forward sweep is prefetch-friendly.  What
         costs latency is *re-fetching* lines that irregular accesses keep
         evicting, i.e. the misses beyond the footprint.
+    """
+    line_ids = np.asarray(line_ids)
+    n = line_ids.shape[0]
+    if n == 0 or budget_lines <= 0:
+        return 0
+    unique_lines = np.unique(line_ids)
+    distinct_total = unique_lines.shape[0]
+    if distinct_total <= budget_lines:
+        # The whole x footprint is cache-resident in steady state.
+        return 0
+    window = max(int(budget_lines), 1)
+    n_windows = -(-n // window)
+    # Dense-rank the line ids so a (window, line) pair packs into one int64
+    # key without overflow: window < n_windows <= n and rank < distinct <= n.
+    ranks = np.searchsorted(unique_lines, line_ids)
+    k = np.int64(distinct_total)
+    keys = (np.arange(n, dtype=np.int64) // window) * k + ranks
+    pairs = np.unique(keys)  # sorted distinct (window, line) incidences
+    pair_window = pairs // k
+    pair_rank = pairs - pair_window * k
+    # A pair misses iff its line was absent from the previous window, i.e.
+    # (window - 1, line) is not itself a pair.  The cyclic steady state
+    # wraps window 0's predecessor around to the last window.
+    prev_keys = (pair_window - 1) * k + pair_rank
+    first = pair_window == 0
+    if cyclic:
+        prev_keys[first] = np.int64(n_windows - 1) * k + pair_rank[first]
+    pos = np.searchsorted(pairs, prev_keys)
+    present = pairs[np.minimum(pos, pairs.shape[0] - 1)] == prev_keys
+    if cyclic:
+        misses = int(np.count_nonzero(~present))
+    else:
+        # The first window is charged its compulsory misses wholesale.
+        misses = int(np.count_nonzero(first)) + int(
+            np.count_nonzero(~present[~first])
+        )
+    if discount_compulsory:
+        misses = max(misses - distinct_total, 0)
+    return misses
+
+
+def estimate_stream_misses_windowed(
+    line_ids: np.ndarray,
+    budget_lines: int,
+    *,
+    cyclic: bool = True,
+    discount_compulsory: bool = True,
+) -> int:
+    """Reference implementation of :func:`estimate_stream_misses`.
+
+    The original per-window Python loop, kept verbatim as the executable
+    specification: ``tests/test_cache.py`` asserts the vectorized sweep
+    returns exactly the same count on randomized streams, and
+    ``benchmarks/bench_sweep.py`` measures against it as the pre-SimPlan
+    baseline.  Do not optimize this function.
     """
     line_ids = np.asarray(line_ids)
     n = line_ids.shape[0]

@@ -21,46 +21,25 @@ slowest thread sets the pace.
 
 ``zero_col_ind=True`` reproduces the paper's custom benchmark that zeroes
 the column indices of CSR so every x access hits the same cache line.
+
+:func:`simulate` delegates to the per-candidate plan layer
+(:mod:`repro.machine.plan`), which factors everything structure-dependent
+out of the per-(impl, threads) call; :func:`simulate_reference` preserves
+the original unfactored computation verbatim as the executable
+specification — the test suite asserts both produce bit-identical results.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from ..errors import ModelError
 from ..formats.base import SparseFormat
 from ..parallel.partition import balanced_partition, stored_per_block_row
 from ..types import Impl, Precision
-from .cache import estimate_stream_misses, x_budget_lines
+from .cache import estimate_stream_misses_windowed, x_budget_lines
 from .machine import MachineModel
+from .plan import SimResult, get_plan
 
-__all__ = ["SimResult", "simulate"]
-
-
-@dataclass(frozen=True)
-class SimResult:
-    """Breakdown of one simulated SpMV execution."""
-
-    t_total: float
-    t_mem: float
-    t_comp: float
-    t_comp_exposed: float
-    t_latency: float
-    ws_bytes: int
-    x_misses: int
-    nthreads: int
-    precision: Precision
-    impl: Impl
-
-    @property
-    def bound(self) -> str:
-        """Which resource dominates: ``"memory"``, ``"compute"`` or ``"latency"``."""
-        overlap_part = max(self.t_mem, self.t_comp - self.t_comp_exposed)
-        if self.t_latency >= overlap_part:
-            return "latency"
-        if self.t_mem >= self.t_comp - self.t_comp_exposed:
-            return "memory"
-        return "compute"
+__all__ = ["SimResult", "simulate", "simulate_reference"]
 
 
 def simulate(
@@ -73,6 +52,30 @@ def simulate(
     zero_col_ind: bool = False,
 ) -> SimResult:
     """Simulated steady-state time of one ``y = A @ x`` with ``fmt``."""
+    return get_plan(fmt, machine, precision).run(
+        impl, nthreads, zero_col_ind=zero_col_ind
+    )
+
+
+def simulate_reference(
+    fmt: SparseFormat,
+    machine: MachineModel,
+    precision: Precision | str = Precision.DP,
+    impl: Impl | str = Impl.SCALAR,
+    nthreads: int = 1,
+    *,
+    zero_col_ind: bool = False,
+) -> SimResult:
+    """The original per-call simulation path, preserved verbatim.
+
+    Recomputes every structure-dependent quantity on each call and runs the
+    windowed-loop miss estimator — exactly the code :func:`simulate` ran
+    before the plan layer existed.  Kept as the executable specification
+    for the bit-identity tests and as the baseline for
+    ``benchmarks/bench_sweep.py``; production code should call
+    :func:`simulate`.  Uses a separate x-miss memo key so its timing never
+    benefits from plan-path caching (and vice versa).
+    """
     precision = Precision.coerce(precision)
     impl = Impl.coerce(impl)
     if nthreads < 1 or nthreads > machine.max_threads:
@@ -97,10 +100,6 @@ def simulate(
         t_mem *= machine.decomposition_mem_factor(shares)
 
     # Per-thread compute cycles, part by part; x-miss latency per part.
-    # The latency term depends only on the structure and the precision
-    # (line packing) — not on the kernel implementation or the thread
-    # count — so it is memoised on the format object and split evenly
-    # across the (nnz-balanced) threads.
     overlappable_cycles = [0.0] * nthreads
     exposed_cycles = [0.0] * nthreads
     total_misses = 0
@@ -125,11 +124,11 @@ def simulate(
             exposed_cycles[t] += eta_part * float(per_thread[t])
         if x_resident or zero_col_ind:
             continue
-        cache = part.__dict__.setdefault("_x_miss_cache", {})
+        cache = part.__dict__.setdefault("_x_miss_cache_ref", {})
         misses = cache.get((line_elems, budget))
         if misses is None:
             lines = part.x_access_stream().line_ids(line_elems)
-            misses = estimate_stream_misses(lines, budget)
+            misses = estimate_stream_misses_windowed(lines, budget)
             cache[(line_elems, budget)] = misses
         total_misses += misses
 

@@ -27,7 +27,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ..core.candidates import FIXED_BLOCK_KINDS, Candidate, candidate_space
-from ..core.profiling import ProfileCache
+from ..core.profiling import ProfileCache, ProfileStore
 from ..core.selection import evaluate_candidates
 from ..errors import ModelError, ReproError
 from ..formats.coo import COOMatrix
@@ -159,6 +159,10 @@ class Recommendation:
     cache_hit: bool = False
     features: dict | None = None
     pruned_structures: dict[str, str] = field(default_factory=dict)
+    #: Phase → seconds breakdown of the evaluation (convert / stats /
+    #: simulate / models); ``None`` on cache hits served from entries
+    #: written before the field existed.
+    phase_timings: dict[str, float] | None = None
 
     @property
     def best(self) -> RankedCandidate:
@@ -182,6 +186,7 @@ class Recommendation:
             "elapsed_s": self.elapsed_s,
             "features": self.features,
             "pruned_structures": self.pruned_structures,
+            "phase_timings": self.phase_timings,
         }
 
     @classmethod
@@ -205,6 +210,7 @@ class Recommendation:
             cache_hit=cache_hit,
             features=payload.get("features"),
             pruned_structures=dict(payload.get("pruned_structures", {})),
+            phase_timings=payload.get("phase_timings"),
         )
 
 
@@ -237,9 +243,15 @@ class AdvisorService:
         self.machine = (
             machine if machine is not None else get_preset(DEFAULT_MACHINE)
         )
-        self.profile_cache = (
-            profile_cache if profile_cache is not None else ProfileCache()
-        )
+        if profile_cache is None:
+            # With a cache dir the calibration itself persists too: a
+            # restarted service warm-starts from disk instead of paying the
+            # multi-second calibration again (the round trip is float-exact,
+            # so recommendations and cache tokens are unchanged).
+            profile_cache = (
+                ProfileStore(cache_dir) if cache_dir is not None else ProfileCache()
+            )
+        self.profile_cache = profile_cache
         self.prune_config = (
             prune_config if prune_config is not None else PruneConfig()
         )
@@ -342,6 +354,7 @@ class AdvisorService:
             )
             pool = decision.kept
 
+        timings: dict[str, float] = {}
         results = evaluate_candidates(
             coo,
             self.machine,
@@ -351,6 +364,7 @@ class AdvisorService:
             profile=profile,
             run_simulation=False,
             nthreads=options.nthreads,
+            timings=timings,
         )
         ranking = _rank(results, options.model)
         rec = Recommendation(
@@ -367,6 +381,7 @@ class AdvisorService:
             elapsed_s=0.0,
             features=features.to_payload() if features is not None else None,
             pruned_structures=dict(decision.dropped) if decision else {},
+            phase_timings={k: round(v, 6) for k, v in timings.items()},
         )
         if self.store is not None and use_cache and key is not None:
             self.store.save(

@@ -24,12 +24,13 @@ import shutil
 from hashlib import sha256
 from pathlib import Path
 
-from ..bench.harness import (
-    CACHE_DECODE_ERRORS,
-    DEFAULT_CACHE_DIR,
-    atomic_write_json,
-)
+from ..bench.harness import DEFAULT_CACHE_DIR
 from ..core.profiling import BlockProfile
+from ..ioutils import (
+    CACHE_DECODE_ERRORS,
+    atomic_write_json,
+    remove_stale_tmp_files,
+)
 
 __all__ = ["AdvisorStore", "profile_token", "ADVISOR_SCHEMA"]
 
@@ -60,6 +61,8 @@ class AdvisorStore:
 
     def __init__(self, cache_dir: str | Path = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(cache_dir) / "advisor"
+        # Collect tmp files orphaned by writers killed mid-save.
+        remove_stale_tmp_files(self.root)
 
     @staticmethod
     def key(fingerprint: str, options_key: str, token: str) -> str:

@@ -2,8 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.machine.cache import LRUCache, estimate_stream_misses, x_budget_lines
+from repro.machine.cache import (
+    LRUCache,
+    estimate_stream_misses,
+    estimate_stream_misses_windowed,
+    x_budget_lines,
+)
 
 
 class TestBudget:
@@ -82,6 +89,95 @@ class TestEstimator:
             estimate_stream_misses(lines, b) for b in (32, 128, 512, 2048)
         ]
         assert misses == sorted(misses, reverse=True)
+
+
+@st.composite
+def _stream_and_budget(draw):
+    """A line-id stream with tunable locality, plus a budget."""
+    n_lines = draw(st.integers(min_value=1, max_value=300))
+    length = draw(st.integers(min_value=0, max_value=2000))
+    style = draw(st.sampled_from(("random", "sweep", "banded", "clustered")))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if style == "random":
+        lines = rng.integers(0, n_lines, length)
+    elif style == "sweep":
+        lines = np.arange(length) % n_lines
+    elif style == "banded":
+        stride = draw(st.integers(min_value=1, max_value=50))
+        lines = (np.arange(length) // stride) % n_lines
+    else:  # clustered: short runs of repeated lines
+        lines = np.repeat(
+            rng.integers(0, n_lines, (length // 4) + 1), 4
+        )[:length]
+    budget = draw(st.integers(min_value=0, max_value=n_lines + 50))
+    return lines.astype(np.int64), budget
+
+
+class TestVectorizedEquivalence:
+    """The vectorized estimator IS the windowed loop, just faster.
+
+    The loop version is kept verbatim as the executable specification;
+    these tests pin the vectorized rewrite to it exactly — any disagreement
+    on any stream is a bug, not a tolerance question.
+    """
+
+    @settings(max_examples=300, deadline=None, derandomize=True)
+    @given(
+        _stream_and_budget(),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_matches_windowed_loop(self, sb, cyclic, discount):
+        lines, budget = sb
+        assert estimate_stream_misses(
+            lines, budget, cyclic=cyclic, discount_compulsory=discount
+        ) == estimate_stream_misses_windowed(
+            lines, budget, cyclic=cyclic, discount_compulsory=discount
+        )
+
+    def test_matches_on_window_boundary_lengths(self):
+        # Stream lengths straddling multiples of the window size exercise
+        # the ragged last window and the cyclic wrap to it.
+        budget = 16
+        rng = np.random.default_rng(11)
+        for length in (15, 16, 17, 31, 32, 33, 64, 65):
+            lines = rng.integers(0, 40, length)
+            for cyclic in (True, False):
+                for discount in (True, False):
+                    assert estimate_stream_misses(
+                        lines, budget, cyclic=cyclic, discount_compulsory=discount
+                    ) == estimate_stream_misses_windowed(
+                        lines, budget, cyclic=cyclic, discount_compulsory=discount
+                    ), (length, cyclic, discount)
+
+    def test_single_window_stream(self):
+        # Whole stream fits one window: cyclic wraps to itself (every line
+        # present → zero misses pre-discount is impossible, it's the same
+        # window), non-cyclic charges it wholesale.
+        lines = np.array([5, 6, 5, 7], dtype=np.int64)
+        for cyclic in (True, False):
+            for discount in (True, False):
+                assert estimate_stream_misses(
+                    lines, 2, cyclic=cyclic, discount_compulsory=discount
+                ) == estimate_stream_misses_windowed(
+                    lines, 2, cyclic=cyclic, discount_compulsory=discount
+                )
+
+    @settings(max_examples=150, deadline=None, derandomize=True)
+    @given(_stream_and_budget())
+    def test_resident_footprint_matches_lru_exactly(self, sb):
+        """When the distinct footprint fits the cache, both the estimator
+        and the true LRU (after its compulsory cold misses) agree: zero."""
+        lines, budget = sb
+        if len(lines) == 0 or budget == 0:
+            return
+        distinct = int(np.unique(lines).shape[0])
+        if distinct > budget:
+            return
+        assert estimate_stream_misses(lines, budget) == 0
+        lru = LRUCache(budget).run(lines)
+        assert lru == distinct  # compulsory misses only
 
 
 class TestLRUOracle:

@@ -1,0 +1,108 @@
+"""Tests for the shared filesystem helpers (atomic writes, tmp cleanup)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.ioutils import (
+    atomic_write_json,
+    remove_stale_tmp_files,
+)
+
+
+class TestAtomicWriteJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "out.json"
+        atomic_write_json(path, {"a": [1, 2.5], "b": None})
+        assert json.loads(path.read_text()) == {"a": [1, 2.5], "b": None}
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_unserializable_payload_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "out.json"
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_write_keeps_old_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"v": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_concurrent_writers_same_target(self, tmp_path):
+        """Threads saving the same path must not share a tmp file — the
+        advisor's batch mode writes one key from several threads at once."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        path = tmp_path / "out.json"
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(atomic_write_json, path, {"v": i})
+                for i in range(50)
+            ]
+            for f in futures:
+                f.result()  # no FileNotFoundError from a stolen tmp
+        assert json.loads(path.read_text())["v"] in range(50)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestRemoveStaleTmpFiles:
+    def test_missing_dir_is_fine(self, tmp_path):
+        assert remove_stale_tmp_files(tmp_path / "nope") == []
+
+    def test_dead_writer_pid_removed(self, tmp_path):
+        # Use a pid far above any plausible live process.
+        dead = tmp_path / "cache.json.999999999.tmp"
+        dead.write_text("{")
+        removed = remove_stale_tmp_files(tmp_path)
+        assert removed == [dead]
+        assert not dead.exists()
+
+    def test_live_writer_pid_kept(self, tmp_path):
+        live = tmp_path / f"cache.json.{os.getpid()}.tmp"
+        live.write_text("{")
+        assert remove_stale_tmp_files(tmp_path) == []
+        assert live.exists()
+
+    def test_sequence_stamped_names_parse(self, tmp_path):
+        live = tmp_path / f"cache.json.{os.getpid()}-7.tmp"
+        live.write_text("{")
+        dead = tmp_path / "cache.json.999999999-0.tmp"
+        dead.write_text("{")
+        assert remove_stale_tmp_files(tmp_path) == [dead]
+        assert live.exists()
+
+    def test_unrecognized_name_uses_age(self, tmp_path):
+        young = tmp_path / "scratch.tmp"
+        young.write_text("x")
+        assert remove_stale_tmp_files(tmp_path) == []
+        old = time.time() - 7200
+        os.utime(young, (old, old))
+        assert remove_stale_tmp_files(tmp_path) == [young]
+
+    def test_non_tmp_files_untouched(self, tmp_path):
+        keeper = tmp_path / "real.json"
+        keeper.write_text("{}")
+        dead = tmp_path / "real.json.999999999.tmp"
+        dead.write_text("{")
+        remove_stale_tmp_files(tmp_path)
+        assert keeper.exists()
+
+    def test_not_recursive(self, tmp_path):
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        nested = sub / "cache.json.999999999.tmp"
+        nested.write_text("{")
+        assert remove_stale_tmp_files(tmp_path) == []
+        assert nested.exists()
