@@ -1,0 +1,57 @@
+"""AST-based invariant linter for the repro codebase.
+
+``python -m repro lint`` machine-checks the project's unwritten rules —
+byte-determinism of the model paths, crash-safe cache writes, lock
+discipline in the advisor service, registered engine event schemas, and
+no exact float comparisons in model code.  See :mod:`repro.analysis.rules`
+for the rule catalog and ``docs/lint.md`` for the workflow.
+"""
+
+from .baseline import apply_baseline, load_baseline, save_baseline
+from .config import LintConfig, find_project_root, load_config
+from .context import FileContext, Suppression
+from .findings import Finding
+from .rules import (
+    RULE_REGISTRY,
+    SUPPRESSION_RULE_ID,
+    AtomicWriteRule,
+    DeterminismRule,
+    EventSchemaRule,
+    FloatEqualityRule,
+    LockDisciplineRule,
+    Rule,
+    register,
+)
+from .runner import (
+    LintResult,
+    build_rules,
+    iter_source_files,
+    lint_file,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Suppression",
+    "Rule",
+    "register",
+    "RULE_REGISTRY",
+    "SUPPRESSION_RULE_ID",
+    "DeterminismRule",
+    "AtomicWriteRule",
+    "LockDisciplineRule",
+    "EventSchemaRule",
+    "FloatEqualityRule",
+    "LintConfig",
+    "load_config",
+    "find_project_root",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+    "LintResult",
+    "run_lint",
+    "lint_file",
+    "build_rules",
+    "iter_source_files",
+]

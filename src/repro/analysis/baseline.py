@@ -1,0 +1,72 @@
+"""Grandfathered findings: the fingerprinted ``lint_baseline.json``.
+
+The baseline holds the fingerprints of findings that predate a rule (or
+were consciously accepted) so that ``repro lint`` can gate *new* findings
+in CI without first requiring a repo-wide cleanup.  Matching is by
+content fingerprint (rule + path + source line, see
+:class:`~repro.analysis.findings.Finding`), with multiset semantics: two
+identical offending lines in one file need two baseline entries, and
+fixing one of them does not mask the other.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from ..ioutils import CACHE_DECODE_ERRORS, atomic_write_json
+from .findings import Finding
+
+__all__ = ["load_baseline", "save_baseline", "apply_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint multiset of the baseline at ``path`` (empty if absent)."""
+    path = Path(path)
+    if not path.is_file():
+        return Counter()
+    try:
+        payload = json.loads(path.read_text())
+        if payload["version"] != BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline version {payload['version']}")
+        return Counter(entry["fingerprint"] for entry in payload["findings"])
+    except CACHE_DECODE_ERRORS as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, atomic)."""
+    atomic_write_json(Path(path), {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                # Informational only — matching ignores line numbers.
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+    })
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, n_baselined) against the fingerprint
+    multiset, preserving order."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        if remaining[finding.fingerprint] > 0:
+            remaining[finding.fingerprint] -= 1
+            baselined += 1
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,49 @@
+"""The linter's currency: one :class:`Finding` per rule violation.
+
+A finding is identified across runs by its *fingerprint*: a content hash of
+``(rule id, file path, stripped source line)``.  Line numbers are
+deliberately excluded so that unrelated edits above a grandfathered finding
+do not invalidate the baseline; editing the offending line itself (or
+moving the file) does, which is exactly when a human should re-triage it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  #: project-relative posix path, e.g. ``src/repro/engine/pool.py``
+    line: int
+    message: str
+    #: The stripped source line the finding points at (fingerprint input).
+    snippet: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        digest = sha256(
+            f"{self.rule}|{self.path}|{self.snippet}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_payload(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,160 @@
+"""The lint driver: walk files, parse once, run rules, apply suppressions.
+
+:func:`run_lint` is the library entry point (the CLI subcommand is a thin
+wrapper): it resolves the configured paths to source files, builds one
+instance of every registered rule from its settings table, and lints each
+file through a single shared parse.  Inline ``# repro: noqa[rule-id]
+reason`` comments on the offending line suppress findings — a suppression
+without a reason (or naming an unknown rule) is itself reported under the
+``suppression`` rule, so annotations stay auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .config import LintConfig
+from .context import FileContext
+from .findings import Finding
+from .rules import RULE_REGISTRY, SUPPRESSION_RULE_ID, Rule
+
+__all__ = ["LintResult", "run_lint", "lint_file", "build_rules",
+           "iter_source_files"]
+
+#: Pseudo rule id for files the parser rejects.
+PARSE_RULE_ID = "parse"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint pass produced (before baseline subtraction)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    def of(self, rule_id: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule_id]
+
+
+def build_rules(
+    config: LintConfig, only: tuple[str, ...] | None = None
+) -> list[Rule]:
+    """One configured instance of every (selected) registered rule."""
+    if only:
+        unknown = sorted(
+            r for r in only
+            if r not in RULE_REGISTRY and r != SUPPRESSION_RULE_ID
+        )
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {unknown}; "
+                f"known: {sorted(RULE_REGISTRY)}"
+            )
+    ids = [r for r in sorted(RULE_REGISTRY) if not only or r in only]
+    return [RULE_REGISTRY[r](config.rules.get(r)) for r in ids]
+
+
+def iter_source_files(config: LintConfig) -> list[tuple[Path, str]]:
+    """``(absolute path, project-relative posix path)`` pairs, sorted."""
+    seen: dict[str, Path] = {}
+    for prefix in config.paths:
+        base = config.root / prefix
+        if base.is_file():
+            candidates = [base]
+        elif base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            continue
+        for path in candidates:
+            rel = path.relative_to(config.root).as_posix()
+            if any(
+                rel == ex.rstrip("/") or rel.startswith(ex.rstrip("/") + "/")
+                for ex in config.exclude
+            ):
+                continue
+            seen[rel] = path
+    return [(seen[rel], rel) for rel in sorted(seen)]
+
+
+def lint_file(
+    path: Path,
+    rel_path: str,
+    rules: list[Rule],
+    *,
+    check_suppressions: bool = True,
+) -> tuple[list[Finding], int]:
+    """Findings for one file plus how many were noqa-suppressed."""
+    source = path.read_text()
+    try:
+        ctx = FileContext(path, rel_path, source)
+    except SyntaxError as exc:
+        return [Finding(
+            rule=PARSE_RULE_ID,
+            path=rel_path,
+            line=exc.lineno or 0,
+            message=f"file does not parse: {exc.msg}",
+        )], 0
+
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(rel_path):
+            raw.extend(rule.check(ctx))
+
+    findings: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        sup = ctx.suppressions.get(finding.line)
+        if sup is not None and sup.reason and sup.covers(finding.rule):
+            suppressed += 1
+        else:
+            findings.append(finding)
+
+    if check_suppressions:
+        for sup in ctx.suppressions.values():
+            if not sup.rules or not sup.reason:
+                findings.append(Finding(
+                    rule=SUPPRESSION_RULE_ID,
+                    path=rel_path,
+                    line=sup.line,
+                    message=(
+                        "suppression must name rule ids and give a reason: "
+                        "# repro: noqa[rule-id] why"
+                    ),
+                    snippet=ctx.lines[sup.line - 1].strip(),
+                ))
+                continue
+            unknown = sorted(
+                r for r in sup.rules
+                if r != "*" and r not in RULE_REGISTRY
+            )
+            if unknown:
+                findings.append(Finding(
+                    rule=SUPPRESSION_RULE_ID,
+                    path=rel_path,
+                    line=sup.line,
+                    message=f"suppression names unknown rule id(s) {unknown}",
+                    snippet=ctx.lines[sup.line - 1].strip(),
+                ))
+
+    findings.sort(key=Finding.sort_key)
+    return findings, suppressed
+
+
+def run_lint(
+    config: LintConfig, *, only: tuple[str, ...] | None = None
+) -> LintResult:
+    """Lint every configured source file with the configured rules."""
+    rules = build_rules(config, only)
+    check_suppressions = not only or SUPPRESSION_RULE_ID in only
+    result = LintResult()
+    for path, rel in iter_source_files(config):
+        findings, suppressed = lint_file(
+            path, rel, rules, check_suppressions=check_suppressions
+        )
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+        result.files_checked += 1
+    return result

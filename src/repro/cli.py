@@ -12,6 +12,8 @@ Usage::
     python -m repro advise pwtk --top 3           # format advisor, one matrix
     python -m repro advise path/to/matrix.mtx --no-prune
     python -m repro serve --port 8077             # advisor HTTP service
+    python -m repro lint                          # invariant linter (see docs/lint.md)
+    python -m repro lint --rule determinism --format json
 
 Sweeps run on the :mod:`repro.engine` worker pool: ``--jobs N`` picks the
 number of worker processes (default: all cores), completed per-matrix
@@ -312,6 +314,96 @@ def _advise_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv lint",
+        description=(
+            "AST-based invariant linter: determinism, atomic-write, lock "
+            "and event-schema discipline (see docs/lint.md)."
+        ),
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with every current finding and exit 0",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help=(
+            "project root containing pyproject.toml (default: nearest "
+            "ancestor of the working directory)"
+        ),
+    )
+    return parser
+
+
+def _lint_main(argv: Sequence[str]) -> int:
+    import json as _json
+
+    from .analysis import (
+        apply_baseline,
+        find_project_root,
+        load_baseline,
+        load_config,
+        run_lint,
+        save_baseline,
+    )
+
+    args = _build_lint_parser().parse_args(argv)
+    root = args.root if args.root is not None else find_project_root()
+    config = load_config(root)
+    only = tuple(args.rule) if args.rule else None
+    try:
+        result = run_lint(config, only=only)
+        baseline = load_baseline(config.baseline_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        save_baseline(config.baseline_path, result.findings)
+        print(
+            f"baseline updated: {len(result.findings)} finding(s) recorded "
+            f"in {config.baseline_path}"
+        )
+        return 0
+
+    new, baselined = apply_baseline(result.findings, baseline)
+    if args.format == "json":
+        print(_json.dumps({
+            "findings": [f.to_payload() for f in new],
+            "files_checked": result.files_checked,
+            "suppressed": result.suppressed,
+            "baselined": baselined,
+            "clean": not new,
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        summary = (
+            f"checked {result.files_checked} file(s): "
+            f"{len(new)} finding(s), {result.suppressed} suppressed, "
+            f"{baselined} baselined"
+        )
+        print(summary if not new else f"\n{summary}")
+    return 1 if new else 0
+
+
 def _serve_main(argv: Sequence[str]) -> int:
     from .serve.server import serve_forever
     from .serve.service import AdvisorService
@@ -328,6 +420,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _advise_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     wanted = list(args.experiments)
     if "all" in wanted:

@@ -25,12 +25,20 @@ Kinds and their fields:
                           worker's busy time: ``convert`` / ``stats`` /
                           ``simulate`` / ``models``; ``None`` when the task
                           function does not report one)
-``shard_retry``           ``shard, matrix, attempt, backoff_s, error``
-``shard_quarantined``     ``shard, matrix, attempts, error``
+``shard_retry``           ``shard, matrix, attempt, backoff_s, error,``
+                          ``error_type`` (``error`` is the exception
+                          message, ``error_type`` its class name)
+``shard_quarantined``     ``shard, matrix, attempts, error, error_type``
 ``sweep_finish``          ``fingerprint, elapsed_s, completed, cached,``
                           ``quarantined, records, shards_per_s,``
                           ``records_per_s, worker_utilization, jobs``
 ========================  ====================================================
+
+The same schema is declared machine-readably in :data:`EVENT_SCHEMAS`,
+which the ``event-schema`` lint rule (:mod:`repro.analysis`) checks every
+``bus.emit`` call site against: a typo'd kind or a missing/undeclared
+field fails ``python -m repro lint`` instead of silently producing an
+event no reporter understands.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from pathlib import Path
 from typing import IO, Protocol
 
 __all__ = [
+    "EVENT_SCHEMAS",
     "Reporter",
     "EventBus",
     "JsonlReporter",
@@ -49,6 +58,35 @@ __all__ = [
     "PhaseReporter",
     "CollectingReporter",
 ]
+
+#: Every event kind the engine may emit, mapped to its exact field set
+#: (``ts`` and ``event`` are added by :meth:`EventBus.emit` itself).
+#: Checked statically by the ``event-schema`` lint rule — extend this
+#: registry first when adding an event kind or field.
+EVENT_SCHEMAS: dict[str, frozenset[str]] = {
+    "sweep_start": frozenset(
+        {"fingerprint", "n_shards", "jobs", "cached", "resume"}
+    ),
+    "profile_ready": frozenset(
+        {"machine", "precision", "source", "elapsed_s"}
+    ),
+    "shard_cached": frozenset({"shard", "matrix"}),
+    "shard_start": frozenset({"shard", "matrix", "attempt"}),
+    "shard_finish": frozenset(
+        {"shard", "matrix", "attempt", "elapsed_s", "records", "phases"}
+    ),
+    "shard_retry": frozenset(
+        {"shard", "matrix", "attempt", "backoff_s", "error", "error_type"}
+    ),
+    "shard_quarantined": frozenset(
+        {"shard", "matrix", "attempts", "error", "error_type"}
+    ),
+    "sweep_finish": frozenset({
+        "fingerprint", "elapsed_s", "completed", "cached", "quarantined",
+        "records", "shards_per_s", "records_per_s", "worker_utilization",
+        "jobs",
+    }),
+}
 
 
 class Reporter(Protocol):
@@ -142,13 +180,14 @@ class ProgressReporter:
             self._print(
                 f"[engine] {event['shard']:3d} {event['matrix']:15s} "
                 f"retrying (attempt {event['attempt']}, "
-                f"backoff {event['backoff_s']:.1f}s): {event['error']}"
+                f"backoff {event['backoff_s']:.1f}s): "
+                f"{event['error_type']}: {event['error']}"
             )
         elif kind == "shard_quarantined":
             self._print(
                 f"[engine] {event['shard']:3d} {event['matrix']:15s} "
                 f"QUARANTINED after {event['attempts']} attempts: "
-                f"{event['error']}"
+                f"{event['error_type']}: {event['error']}"
             )
         elif kind == "sweep_finish":
             util = 100.0 * event["worker_utilization"]

@@ -237,8 +237,15 @@ class SweepEngine:
         attempt: int,
         failed: dict[int, str],
     ) -> bool:
-        """Handle one failed attempt; return True if the shard may retry."""
-        error = f"{type(exc).__name__}: {exc}"
+        """Handle one failed attempt; return True if the shard may retry.
+
+        The exception's class name and message travel separately through
+        the event bus and the quarantine marker, so a quarantined shard is
+        diagnosable from the JSONL run log alone (``error_type`` +
+        ``error``), without re-running the shard under a debugger.
+        """
+        error_type = type(exc).__name__
+        error = str(exc)
         if attempt <= self.max_retries:
             backoff = self._backoff(attempt + 1)
             self.bus.emit(
@@ -248,17 +255,24 @@ class SweepEngine:
                 attempt=attempt + 1,
                 backoff_s=backoff,
                 error=error,
+                error_type=error_type,
             )
             time.sleep(backoff)
             return True
-        self.store.quarantine(task.shard_id, error=error, attempts=attempt)
-        failed[task.shard_id] = error
+        self.store.quarantine(
+            task.shard_id,
+            error=error,
+            error_type=error_type,
+            attempts=attempt,
+        )
+        failed[task.shard_id] = f"{error_type}: {error}"
         self.bus.emit(
             "shard_quarantined",
             shard=task.shard_id,
             matrix=task.name,
             attempts=attempt,
             error=error,
+            error_type=error_type,
         )
         return False
 

@@ -99,32 +99,44 @@ class ShardStore:
         """Shard ids with a (plausibly valid) completed file, ascending."""
         if not self.root.is_dir():
             return []
-        return sorted(
+        # Zero-padded names sort lexicographically == numerically; sorting
+        # the glob itself keeps readdir order out of resume behavior.
+        return [
             int(p.stem.split("_")[1])
-            for p in self.root.glob("shard_[0-9][0-9][0-9].json")
-        )
+            for p in sorted(self.root.glob("shard_[0-9][0-9][0-9].json"))
+        ]
 
     def clear(self) -> None:
         """Discard every shard and quarantine marker (``--fresh``)."""
         shutil.rmtree(self.root, ignore_errors=True)
 
     # --------------------------- quarantine --------------------------- #
-    def quarantine(self, shard_id: int, *, error: str, attempts: int) -> None:
+    def quarantine(
+        self,
+        shard_id: int,
+        *,
+        error: str,
+        attempts: int,
+        error_type: str | None = None,
+    ) -> None:
+        """Record a shard's final failure (exception type + message) so an
+        operator can diagnose it from the marker alone."""
         atomic_write_json(self.quarantine_path(shard_id), {
             "schema": SHARD_SCHEMA,
             "fingerprint": self.fingerprint,
             "shard": shard_id,
             "error": error,
+            "error_type": error_type,
             "attempts": attempts,
         })
 
     def quarantined_ids(self) -> list[int]:
         if not self.root.is_dir():
             return []
-        return sorted(
+        return [
             int(p.stem.split("_")[1])
-            for p in self.root.glob("shard_[0-9][0-9][0-9].quarantine")
-        )
+            for p in sorted(self.root.glob("shard_[0-9][0-9][0-9].quarantine"))
+        ]
 
     def clear_quarantine(self, shard_id: int) -> None:
         self.quarantine_path(shard_id).unlink(missing_ok=True)

@@ -111,7 +111,7 @@ def remove_stale_tmp_files(
     if not root.is_dir():
         return []
     removed: list[Path] = []
-    for tmp in root.glob("*.tmp"):
+    for tmp in sorted(root.glob("*.tmp")):
         pid = _writer_pid(tmp.name)
         if pid is not None:
             stale = not _pid_alive(pid)

@@ -109,10 +109,14 @@ class AdvisorStore:
             path.unlink(missing_ok=True)
             return None
 
-    def entry_count(self) -> int:
+    def entries(self) -> list[Path]:
+        """Every cached entry file, in deterministic (sorted) order."""
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("rec_*.json"))
+            return []
+        return sorted(self.root.glob("rec_*.json"))
+
+    def entry_count(self) -> int:
+        return len(self.entries())
 
     def clear(self) -> None:
         shutil.rmtree(self.root, ignore_errors=True)

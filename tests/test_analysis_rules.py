@@ -1,0 +1,556 @@
+"""Per-rule fixture tests for the repro.analysis invariant linter.
+
+Each rule gets (at least) one minimal bad snippet it must fire on and a
+good twin it must stay silent on, plus coverage of the shared machinery:
+inline suppressions, the fingerprinted baseline, config loading, and the
+file walker.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AtomicWriteRule,
+    DeterminismRule,
+    EventSchemaRule,
+    FloatEqualityRule,
+    LintConfig,
+    LockDisciplineRule,
+    apply_baseline,
+    build_rules,
+    find_project_root,
+    iter_source_files,
+    lint_file,
+    load_baseline,
+    load_config,
+    run_lint,
+    save_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_source(tmp_path, source, rules, rel="snippet.py", **kwargs):
+    path = tmp_path / rel
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, rel, rules, **kwargs)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# --------------------------------------------------------------------------- #
+# determinism
+# --------------------------------------------------------------------------- #
+
+
+class TestDeterminismRule:
+    def rule(self, **settings):
+        settings.setdefault("model-paths", ["snippet.py"])
+        settings.setdefault("model-exclude", [])
+        return DeterminismRule(settings)
+
+    def test_wall_clock_fires(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import time
+
+            def cost():
+                return time.perf_counter()
+            """, [self.rule()])
+        assert rule_ids(findings) == ["determinism"]
+        assert "time.perf_counter" in findings[0].message
+
+    def test_explicit_timestamp_is_fine(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def cost(elapsed_s):
+                return elapsed_s * 2.0
+            """, [self.rule()])
+        assert findings == []
+
+    def test_model_exclude_whitelists_calibration(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import time
+
+            def calibrate():
+                return time.perf_counter()
+            """, [self.rule(**{"model-exclude": ["snippet.py"]})])
+        assert findings == []
+
+    def test_unseeded_rng_fires_seeded_does_not(self, tmp_path):
+        bad, _ = lint_source(tmp_path, """\
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """, [self.rule()])
+        good, _ = lint_source(tmp_path, """\
+            import numpy as np
+
+            rng = np.random.default_rng(1234)
+            """, [self.rule()])
+        assert rule_ids(bad) == ["determinism"]
+        assert "unseeded" in bad[0].message
+        assert good == []
+
+    def test_global_state_rng_fires(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import random
+
+            def pick(xs):
+                return random.choice(xs)
+            """, [self.rule()])
+        assert rule_ids(findings) == ["determinism"]
+        assert "random.choice" in findings[0].message
+
+    def test_unsorted_glob_fires_everywhere(self, tmp_path):
+        # Even outside the model paths: readdir order must never leak.
+        findings, _ = lint_source(tmp_path, """\
+            def shards(root):
+                return [p.name for p in root.glob("*.json")]
+            """, [self.rule(**{"model-paths": []})])
+        assert rule_ids(findings) == ["determinism"]
+        assert "sorted" in findings[0].message
+
+    def test_sorted_glob_is_fine(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import os
+
+            def shards(root):
+                direct = [p.name for p in sorted(root.glob("*.json"))]
+                derived = sorted(int(p.stem) for p in root.glob("*.json"))
+                names = sorted(os.listdir(root))
+                return direct, derived, names
+            """, [self.rule(**{"model-paths": []})])
+        assert findings == []
+
+    def test_unsorted_listdir_fires(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import os
+
+            def entries(root):
+                return list(os.listdir(root))
+            """, [self.rule(**{"model-paths": []})])
+        assert rule_ids(findings) == ["determinism"]
+
+
+# --------------------------------------------------------------------------- #
+# atomic-write
+# --------------------------------------------------------------------------- #
+
+
+class TestAtomicWriteRule:
+    def rule(self):
+        return AtomicWriteRule({"paths": []})
+
+    def test_raw_open_write_and_json_dump_fire(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import json
+
+            def save(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+            """, [self.rule()])
+        assert rule_ids(findings) == ["atomic-write", "atomic-write"]
+
+    def test_write_text_fires(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def save(path, payload):
+                path.write_text(payload)
+            """, [self.rule()])
+        assert rule_ids(findings) == ["atomic-write"]
+
+    def test_atomic_write_and_reads_are_fine(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import json
+
+            from repro.ioutils import atomic_write_json
+
+            def save(path, payload):
+                atomic_write_json(path, payload)
+
+            def load(path):
+                with open(path) as fh:
+                    return json.load(fh)
+            """, [self.rule()])
+        assert findings == []
+
+    def test_scoping_skips_non_owner_modules(self, tmp_path):
+        # Same bad source, but the rule is scoped to cache owners only.
+        rule = AtomicWriteRule({"paths": ["src/repro/engine/shards.py"]})
+        findings, _ = lint_source(tmp_path, """\
+            def save(path, payload):
+                path.write_text(payload)
+            """, [rule])
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# lock-discipline
+# --------------------------------------------------------------------------- #
+
+
+class TestLockDisciplineRule:
+    def rule(self):
+        return LockDisciplineRule({"paths": []})
+
+    BAD = """\
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0
+
+            def bump(self):
+                with self._lock:
+                    self.count += 1
+
+            def reset(self):
+                self.count = 0
+        """
+
+    GOOD = """\
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0
+
+            def bump(self):
+                with self._lock:
+                    self.count += 1
+
+            def reset(self):
+                with self._lock:
+                    self.count = 0
+        """
+
+    def test_unlocked_mutation_fires(self, tmp_path):
+        findings, _ = lint_source(tmp_path, self.BAD, [self.rule()])
+        assert rule_ids(findings) == ["lock-discipline"]
+        assert "self.count" in findings[0].message
+        # __init__ writes are not flagged: the object is not shared yet.
+        assert all(f.line > 6 for f in findings)
+
+    def test_locked_twin_is_silent(self, tmp_path):
+        findings, _ = lint_source(tmp_path, self.GOOD, [self.rule()])
+        assert findings == []
+
+    def test_subscript_mutation_tracked(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._stats_lock = threading.Lock()
+                    self._counters = {"hits": 0}
+
+                def bump(self, key):
+                    with self._stats_lock:
+                        self._counters[key] += 1
+
+                def smash(self, key):
+                    self._counters[key] = 0
+            """, [self.rule()])
+        assert rule_ids(findings) == ["lock-discipline"]
+        assert "_counters" in findings[0].message
+
+    def test_unlocked_attrs_unconstrained(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            class Plain:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+            """, [self.rule()])
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# event-schema
+# --------------------------------------------------------------------------- #
+
+TOY_REGISTRY = {
+    "shard_start": frozenset({"shard", "matrix"}),
+    "sweep_finish": frozenset({"elapsed_s"}),
+}
+
+
+class TestEventSchemaRule:
+    def rule(self, **settings):
+        settings.setdefault("paths", [])
+        settings.setdefault("reporter-paths", [])
+        rule = EventSchemaRule(settings)
+        rule.registry = TOY_REGISTRY
+        return rule
+
+    def test_typoed_kind_fires(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def go(bus):
+                bus.emit("shard_strat", shard=1, matrix="pwtk")
+            """, [self.rule()])
+        assert rule_ids(findings) == ["event-schema"]
+        assert "shard_strat" in findings[0].message
+
+    def test_missing_and_extra_fields_fire(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def go(bus):
+                bus.emit("shard_start", shard=1, banana=2)
+            """, [self.rule()])
+        messages = " ".join(f.message for f in findings)
+        assert rule_ids(findings) == ["event-schema", "event-schema"]
+        assert "matrix" in messages and "banana" in messages
+
+    def test_conforming_emit_is_silent(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def go(self):
+                self.bus.emit("shard_start", shard=1, matrix="pwtk")
+            """, [self.rule()])
+        assert findings == []
+
+    def test_splat_checks_kind_only(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def go(bus, fields):
+                bus.emit("shard_start", **fields)
+                bus.emit("not_a_kind", **fields)
+            """, [self.rule()])
+        assert rule_ids(findings) == ["event-schema"]
+        assert "not_a_kind" in findings[0].message
+
+    def test_non_bus_emit_ignored(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def go(signal):
+                signal.emit("whatever", x=1)
+            """, [self.rule()])
+        assert findings == []
+
+    def test_reporter_kind_compare_checked_in_scope(self, tmp_path):
+        source = """\
+            def handle(event):
+                kind = event["event"]
+                if kind == "shard_strat":
+                    return True
+                return kind == "shard_start"
+            """
+        in_scope, _ = lint_source(
+            tmp_path, source,
+            [self.rule(**{"reporter-paths": ["snippet.py"]})],
+        )
+        out_of_scope, _ = lint_source(tmp_path, source, [self.rule()])
+        assert rule_ids(in_scope) == ["event-schema"]
+        assert "shard_strat" in in_scope[0].message
+        assert out_of_scope == []
+
+    def test_real_registry_covers_engine_emits(self):
+        # The shipped registry is the one the engine actually emits from.
+        from repro.engine.events import EVENT_SCHEMAS
+
+        rule = EventSchemaRule({"paths": []})
+        assert rule.registry is EVENT_SCHEMAS
+        assert "shard_quarantined" in EVENT_SCHEMAS
+        assert "error_type" in EVENT_SCHEMAS["shard_quarantined"]
+
+
+# --------------------------------------------------------------------------- #
+# float-equality
+# --------------------------------------------------------------------------- #
+
+
+class TestFloatEqualityRule:
+    def rule(self):
+        return FloatEqualityRule({"paths": []})
+
+    def test_nonzero_float_literal_fires(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def full(fill):
+                return fill == 1.0
+            """, [self.rule()])
+        assert rule_ids(findings) == ["float-equality"]
+
+    def test_zero_guard_and_int_compare_are_fine(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def breakdown(beta, n):
+                return beta == 0.0 or beta != 0.0 or n == 3
+            """, [self.rule()])
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# suppressions
+# --------------------------------------------------------------------------- #
+
+
+class TestSuppressions:
+    def rule(self):
+        return FloatEqualityRule({"paths": []})
+
+    def test_noqa_with_reason_suppresses(self, tmp_path):
+        findings, suppressed = lint_source(tmp_path, """\
+            def full(fill):
+                return fill == 1.0  # repro: noqa[float-equality] exact sentinel by construction
+            """, [self.rule()])
+        assert findings == []
+        assert suppressed == 1
+
+    def test_noqa_without_reason_does_not_suppress(self, tmp_path):
+        findings, suppressed = lint_source(tmp_path, """\
+            def full(fill):
+                return fill == 1.0  # repro: noqa[float-equality]
+            """, [self.rule()])
+        assert suppressed == 0
+        assert sorted(rule_ids(findings)) == ["float-equality", "suppression"]
+
+    def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
+        findings, suppressed = lint_source(tmp_path, """\
+            def full(fill):
+                return fill == 1.0  # repro: noqa[determinism] wrong rule named here
+            """, [self.rule()])
+        assert suppressed == 0
+        assert rule_ids(findings) == ["float-equality"]
+
+    def test_noqa_unknown_rule_id_reported(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            x = 1  # repro: noqa[no-such-rule] misspelled
+            """, [self.rule()])
+        assert rule_ids(findings) == ["suppression"]
+        assert "no-such-rule" in findings[0].message
+
+    def test_wildcard_noqa_suppresses_everything(self, tmp_path):
+        findings, suppressed = lint_source(tmp_path, """\
+            def full(fill):
+                return fill == 1.0  # repro: noqa[*] fixture file, all rules off
+            """, [self.rule()])
+        assert findings == []
+        assert suppressed == 1
+
+    def test_marker_in_docstring_is_inert(self, tmp_path):
+        findings, _ = lint_source(tmp_path, '''\
+            """Docs may show `# repro: noqa[rule-id] reason` verbatim."""
+            ''', [self.rule()])
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# baseline
+# --------------------------------------------------------------------------- #
+
+
+class TestBaseline:
+    def rule(self):
+        return FloatEqualityRule({"paths": []})
+
+    SOURCE = """\
+        def f(a, b):
+            return (a == 1.5) or (b == 2.5)
+        """
+
+    def test_roundtrip_and_multiset_matching(self, tmp_path):
+        findings, _ = lint_source(tmp_path, self.SOURCE, [self.rule()])
+        assert len(findings) == 2
+        baseline_path = tmp_path / "baseline.json"
+
+        # Baseline only the first finding: the second stays new.
+        save_baseline(baseline_path, findings[:1])
+        new, baselined = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+        assert baselined == 1
+        assert new == findings[1:]
+
+        # Baseline both: clean.
+        save_baseline(baseline_path, findings)
+        new, baselined = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+        assert (new, baselined) == ([], 2)
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        findings, _ = lint_source(tmp_path, self.SOURCE, [self.rule()])
+        shifted, _ = lint_source(
+            tmp_path,
+            "# a new comment shifts lines\n\n"
+            + textwrap.dedent(self.SOURCE),
+            [self.rule()], rel="snippet.py",
+        )
+        assert [f.fingerprint for f in findings] == [
+            f.fingerprint for f in shifted
+        ]
+        assert [f.line for f in findings] != [f.line for f in shifted]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+
+# --------------------------------------------------------------------------- #
+# config + walker
+# --------------------------------------------------------------------------- #
+
+
+class TestConfigAndWalker:
+    def test_load_config_reads_pyproject_table(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.reprolint]
+            paths = ["pkg"]
+            exclude = ["pkg/skip.py"]
+            baseline = "lint.json"
+
+            [tool.reprolint.rules.determinism]
+            model-paths = ["pkg/models"]
+            """))
+        config = load_config(tmp_path)
+        assert config.paths == ("pkg",)
+        assert config.exclude == ("pkg/skip.py",)
+        assert config.baseline_path == tmp_path / "lint.json"
+        assert config.rules["determinism"]["model-paths"] == ["pkg/models"]
+
+    def test_load_config_defaults_without_table(self, tmp_path):
+        config = load_config(tmp_path)
+        assert config.paths == ("src/repro",)
+        assert config.rules == {}
+
+    def test_find_project_root_from_repo(self):
+        assert find_project_root(REPO_ROOT / "src" / "repro") == REPO_ROOT
+
+    def test_build_rules_rejects_unknown_id(self):
+        config = LintConfig(root=REPO_ROOT)
+        with pytest.raises(ValueError, match="no-such-rule"):
+            build_rules(config, ("no-such-rule",))
+
+    def test_walker_excludes_and_sorts(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        for name in ("b.py", "a.py", "skip.py"):
+            (tmp_path / "pkg" / name).write_text("x = 1\n")
+        config = LintConfig(
+            root=tmp_path, paths=("pkg",), exclude=("pkg/skip.py",)
+        )
+        assert [rel for _, rel in iter_source_files(config)] == [
+            "pkg/a.py", "pkg/b.py"
+        ]
+
+    def test_run_lint_counts_files(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "bad.py").write_text("def f(x):\n    return x == 1.5\n")
+        config = LintConfig(root=tmp_path, paths=("pkg",))
+        result = run_lint(config, only=("float-equality",))
+        # Default float-equality scoping does not cover pkg/, so configure it.
+        assert result.files_checked == 2
+        config = LintConfig(
+            root=tmp_path, paths=("pkg",),
+            rules={"float-equality": {"paths": []}},
+        )
+        result = run_lint(config, only=("float-equality",))
+        assert [f.path for f in result.findings] == ["pkg/bad.py"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "broken.py").write_text("def f(:\n")
+        config = LintConfig(root=tmp_path, paths=("pkg",))
+        result = run_lint(config)
+        assert rule_ids(result.findings) == ["parse"]

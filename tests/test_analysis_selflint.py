@@ -1,0 +1,96 @@
+"""Self-lint: the repo stays clean against its own invariant linter.
+
+This is the machine-checked contract of ``docs/lint.md``: every shipped
+rule holds across ``src/`` (modulo the checked-in, deliberately minimal
+baseline), and the ``python -m repro lint`` CLI surfaces it.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro import cli
+from repro.analysis import (
+    apply_baseline,
+    load_baseline,
+    load_config,
+    run_lint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestSelfLint:
+    def test_repo_is_clean_against_baseline(self):
+        config = load_config(REPO_ROOT)
+        result = run_lint(config)
+        baseline = load_baseline(config.baseline_path)
+        new, _ = apply_baseline(result.findings, baseline)
+        assert new == [], "\n".join(f.render() for f in new)
+        # The whole src tree was actually walked, not an empty glob.
+        assert result.files_checked > 50
+
+    def test_baseline_is_minimal(self):
+        # The repo lints clean outright: nothing is grandfathered.  If a
+        # rule change makes findings unavoidable, shrink — don't grow —
+        # this bound consciously.
+        config = load_config(REPO_ROOT)
+        assert sum(load_baseline(config.baseline_path).values()) == 0
+
+
+class TestLintCLI:
+    def test_json_smoke(self, capsys):
+        code = cli.main(
+            ["lint", "--format", "json", "--root", str(REPO_ROOT)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["files_checked"] > 50
+
+    def test_text_summary(self, capsys):
+        assert cli.main(["lint", "--root", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_single_rule_filter(self, capsys):
+        code = cli.main(
+            ["lint", "--rule", "determinism", "--root", str(REPO_ROOT)]
+        )
+        assert code == 0
+
+    def test_unknown_rule_fails_cleanly(self, capsys):
+        code = cli.main(
+            ["lint", "--rule", "no-such-rule", "--root", str(REPO_ROOT)]
+        )
+        assert code == 2
+        assert "no-such-rule" in capsys.readouterr().err
+
+    def test_findings_fail_then_baseline_then_clean(self, tmp_path, capsys):
+        """End-to-end baseline workflow on a throwaway project."""
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.reprolint]
+            paths = ["pkg"]
+
+            [tool.reprolint.rules.float-equality]
+            paths = []
+            """))
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("def f(x):\n    return x == 1.5\n")
+
+        assert cli.main(["lint", "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "pkg/mod.py:2: [float-equality]" in out
+
+        assert cli.main(
+            ["lint", "--root", str(tmp_path), "--update-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert (tmp_path / "lint_baseline.json").is_file()
+
+        assert cli.main(["lint", "--root", str(tmp_path)]) == 0
+        assert "1 baselined" in capsys.readouterr().out

@@ -150,8 +150,17 @@ class TestFaultInjection:
         assert len(quarantined) == 1
         assert quarantined[0]["attempts"] == 2  # 1 try + 1 retry
         assert "permanent" in quarantined[0]["error"]
+        # Exception type and message travel separately, so the run log
+        # alone is enough to diagnose the shard.
+        assert quarantined[0]["error_type"] == "RuntimeError"
+        assert all(
+            e["error_type"] == "RuntimeError" for e in col.of("shard_retry")
+        )
         store = ShardStore(tmp_path, STUB_CONFIG)
         assert store.quarantined_ids() == [27]
+        marker = json.loads(store.quarantine_path(27).read_text())
+        assert marker["error_type"] == "RuntimeError"
+        assert marker["error"] == "permanent"
 
     def test_quarantined_shard_recovers_on_rerun(self, tmp_path):
         def broken(task):
