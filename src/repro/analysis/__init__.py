@@ -2,9 +2,10 @@
 
 ``python -m repro lint`` machine-checks the project's unwritten rules —
 byte-determinism of the model paths, crash-safe cache writes, lock
-discipline in the advisor service, registered engine event schemas, and
-no exact float comparisons in model code.  See :mod:`repro.analysis.rules`
-for the rule catalog and ``docs/lint.md`` for the workflow.
+discipline in the advisor service, registered engine event schemas,
+registered fault-injection sites, and no exact float comparisons in model
+code.  See :mod:`repro.analysis.rules` for the rule catalog and
+``docs/lint.md`` for the workflow.
 """
 
 from .baseline import apply_baseline, load_baseline, save_baseline
@@ -17,6 +18,7 @@ from .rules import (
     AtomicWriteRule,
     DeterminismRule,
     EventSchemaRule,
+    FaultSiteRule,
     FloatEqualityRule,
     LockDisciplineRule,
     Rule,
@@ -43,6 +45,7 @@ __all__ = [
     "LockDisciplineRule",
     "EventSchemaRule",
     "FloatEqualityRule",
+    "FaultSiteRule",
     "LintConfig",
     "load_config",
     "find_project_root",

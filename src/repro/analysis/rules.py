@@ -33,6 +33,11 @@ Shipped rules:
     No ``==`` / ``!=`` against non-zero float literals in model/simulator
     code (comparisons with literal ``0.0`` — breakdown guards à la
     ``krylov.py`` — are permitted).
+``fault-site``
+    Every ``fault_point("site")`` hook must name a site registered in
+    :data:`repro.resilience.faults.SITE_CATALOG` — the one catalog fault
+    plans are validated against — so a typo'd hook can't silently become
+    un-injectable.
 """
 
 from __future__ import annotations
@@ -52,6 +57,7 @@ __all__ = [
     "LockDisciplineRule",
     "EventSchemaRule",
     "FloatEqualityRule",
+    "FaultSiteRule",
     "SUPPRESSION_RULE_ID",
 ]
 
@@ -498,6 +504,75 @@ class EventSchemaRule(Rule):
                     ctx, node,
                     f"comparison against unregistered event kind "
                     f"{operand.value!r}",
+                ))
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# fault-site
+# --------------------------------------------------------------------------- #
+
+
+@register
+class FaultSiteRule(Rule):
+    """``fault_point`` hooks name sites registered in the catalog.
+
+    Fault plans are validated against
+    :data:`repro.resilience.faults.SITE_CATALOG` at construction, so a
+    hook whose literal site string is missing from the catalog can never
+    be triggered by any plan — it is dead chaos surface, usually a typo.
+    Calls with a dynamic (non-literal) site are out of static reach and
+    skipped; calls with no site argument are reported.
+    """
+
+    id = "fault-site"
+    title = "registered fault-injection sites"
+
+    def __init__(self, settings: Mapping | None = None) -> None:
+        super().__init__(settings)
+        self._catalog: frozenset[str] | None = None
+
+    @property
+    def catalog(self) -> frozenset[str]:
+        if self._catalog is None:
+            from ..resilience.faults import SITE_CATALOG
+
+            self._catalog = frozenset(SITE_CATALOG)
+        return self._catalog
+
+    @catalog.setter
+    def catalog(self, value) -> None:
+        self._catalog = frozenset(value)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if callee != "fault_point":
+                continue
+            if not node.args:
+                findings.append(self.finding(
+                    ctx, node,
+                    "fault_point() call without a site argument",
+                ))
+                continue
+            site = node.args[0]
+            if not (isinstance(site, ast.Constant)
+                    and isinstance(site.value, str)):
+                continue  # dynamic site: out of static reach
+            if site.value not in self.catalog:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"fault_point site {site.value!r} is not registered in "
+                    "repro.resilience.faults.SITE_CATALOG; no plan can "
+                    "ever trigger it",
                 ))
         return findings
 

@@ -12,6 +12,8 @@ Usage::
     python -m repro advise pwtk --top 3           # format advisor, one matrix
     python -m repro advise path/to/matrix.mtx --no-prune
     python -m repro serve --port 8077             # advisor HTTP service
+    python -m repro serve --port 0 --request-timeout 30 --max-inflight 4
+    python -m repro serve --fault-plan plan.json  # chaos drill (docs/resilience.md)
     python -m repro lint                          # invariant linter (see docs/lint.md)
     python -m repro lint --rule determinism --format json
 
@@ -100,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append machine-readable JSONL engine events to PATH",
     )
+    _add_fault_plan_flag(engine)
     engine.add_argument(
         "--profile",
         action="store_true",
@@ -130,6 +133,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict to these thread counts (from: 1,2,4)",
     )
     return parser
+
+
+def _add_fault_plan_flag(parser) -> None:
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "install a chaos fault-injection plan: inline JSON or a path "
+            "to a JSON file (see docs/resilience.md); default: the "
+            "REPRO_FAULT_PLAN environment variable, if set"
+        ),
+    )
+
+
+def _apply_fault_plan(spec: str | None) -> str | None:
+    """Install the requested fault plan; returns an error message or None.
+
+    ``--fault-plan`` wins over ``REPRO_FAULT_PLAN``; with neither set this
+    is a no-op.  The env plan is re-read *strictly* here: the tolerant
+    import-time hook only warns on a malformed plan, but an operator who
+    reached the CLI intending chaos should get a hard error instead of a
+    silently fault-free run.
+    """
+    from .resilience.faults import (
+        install_plan,
+        install_plan_from_env,
+        load_plan_spec,
+    )
+
+    try:
+        if spec is not None:
+            install_plan(load_plan_spec(spec))
+        else:
+            install_plan_from_env()
+    except (ValueError, OSError) as exc:
+        return f"invalid fault plan: {exc}"
+    return None
 
 
 def _config_from_args(args: argparse.Namespace) -> SweepConfig:
@@ -243,6 +284,7 @@ def _build_advise_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the evaluation's phase-timing breakdown",
     )
+    _add_fault_plan_flag(parser)
     return parser
 
 
@@ -255,12 +297,42 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=8077)
+    parser.add_argument(
+        "--port", type=int, default=8077,
+        help="port to listen on; 0 picks a free one (printed on startup)",
+    )
     parser.add_argument(
         "--cache-dir",
         default=".repro_cache",
         help="directory for the recommendation cache",
     )
+    hardening = parser.add_argument_group("hardening")
+    hardening.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help=(
+            "concurrent /advise requests admitted before shedding with a "
+            "503 (default: 8)"
+        ),
+    )
+    hardening.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-request deadline; an over-budget advise answers 504 "
+            "(default: unbounded)"
+        ),
+    )
+    hardening.add_argument(
+        "--max-body-bytes", type=int, default=None, metavar="BYTES",
+        help="request-body ceiling; bigger bodies answer 413 (default: 8 MiB)",
+    )
+    hardening.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "how long a SIGTERM drain waits for in-flight requests "
+            "(default: 10)"
+        ),
+    )
+    _add_fault_plan_flag(parser)
     return parser
 
 
@@ -272,6 +344,10 @@ def _advise_main(argv: Sequence[str]) -> int:
     args = _build_advise_parser().parse_args(argv)
     if args.top < 1:
         print(f"error: --top must be >= 1, got {args.top}", file=sys.stderr)
+        return 2
+    error = _apply_fault_plan(args.fault_plan)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     service = AdvisorService(cache_dir=args.cache_dir)
     try:
@@ -405,13 +481,48 @@ def _lint_main(argv: Sequence[str]) -> int:
 
 
 def _serve_main(argv: Sequence[str]) -> int:
-    from .serve.server import serve_forever
+    import errno
+
+    from .serve import server as server_mod
     from .serve.service import AdvisorService
 
     args = _build_serve_parser().parse_args(argv)
+    error = _apply_fault_plan(args.fault_plan)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     service = AdvisorService(cache_dir=args.cache_dir)
-    serve_forever(service, host=args.host, port=args.port)
-    return 0
+    kwargs: dict = {}
+    if args.max_inflight is not None:
+        kwargs["max_inflight"] = args.max_inflight
+    if args.request_timeout is not None:
+        kwargs["request_timeout_s"] = args.request_timeout
+    if args.max_body_bytes is not None:
+        kwargs["max_body_bytes"] = args.max_body_bytes
+    if args.drain_timeout is not None:
+        kwargs["drain_timeout_s"] = args.drain_timeout
+    try:
+        server = server_mod.create_server(
+            service, host=args.host, port=args.port, **kwargs
+        )
+    except OSError as exc:
+        if exc.errno == errno.EADDRINUSE:
+            print(
+                f"error: port {args.port} on {args.host} is already in use "
+                "— a stale 'repro serve' process may still be listening; "
+                "stop it or pass a different --port (0 picks a free one)",
+                file=sys.stderr,
+            )
+            return 1
+        raise
+    host, port = server.server_address[0], server.server_address[1]
+    print(
+        f"advisor listening on http://{host}:{port}"
+        "  (POST /advise, GET /healthz, /stats)",
+        flush=True,
+    )
+    clean = server_mod.run_server(server)
+    return 0 if clean else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -433,7 +544,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     sweep = None
     if needs_sweep:
-        error = _validate_sweep_args(args)
+        error = _validate_sweep_args(args) or _apply_fault_plan(
+            args.fault_plan
+        )
         if error is not None:
             print(f"error: {error}", file=sys.stderr)
             return 2

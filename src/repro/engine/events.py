@@ -34,6 +34,12 @@ Kinds and their fields:
                           ``records_per_s, worker_utilization, jobs``
 ========================  ====================================================
 
+The resilience layer (:mod:`repro.resilience`) adds ``fault_injected``,
+``breaker_open`` / ``breaker_close``, ``request_shed``,
+``request_deadline_exceeded`` and ``drain_begin`` / ``drain_end``; their
+fields are declared in :data:`EVENT_SCHEMAS` below and documented in
+``docs/resilience.md``.
+
 The same schema is declared machine-readably in :data:`EVENT_SCHEMAS`,
 which the ``event-schema`` lint rule (:mod:`repro.analysis`) checks every
 ``bus.emit`` call site against: a typo'd kind or a missing/undeclared
@@ -86,6 +92,14 @@ EVENT_SCHEMAS: dict[str, frozenset[str]] = {
         "records", "shards_per_s", "records_per_s", "worker_utilization",
         "jobs",
     }),
+    # Resilience events (repro.resilience; see docs/resilience.md).
+    "fault_injected": frozenset({"site", "action", "hit", "rule"}),
+    "breaker_open": frozenset({"precision", "failures"}),
+    "breaker_close": frozenset({"precision"}),
+    "request_shed": frozenset({"inflight", "limit"}),
+    "request_deadline_exceeded": frozenset({"timeout_s", "elapsed_s"}),
+    "drain_begin": frozenset({"inflight"}),
+    "drain_end": frozenset({"inflight", "elapsed_s", "clean"}),
 }
 
 

@@ -37,6 +37,7 @@ from ..bench.harness import (
 )
 from ..core.profiling import BlockProfile, ProfileStore
 from ..machine.presets import get_preset
+from ..resilience.faults import current_plan, fault_point
 from .events import EventBus, Reporter
 from .shards import ShardStore
 from .tasks import ShardTask, plan_shards, run_shard_task
@@ -51,6 +52,7 @@ TaskFn = Callable[[ShardTask], MatrixSweep]
 def _timed_task(task_fn: TaskFn, task: ShardTask) -> tuple[MatrixSweep, float]:
     """Run one shard and measure its busy time (executes in the worker)."""
     t0 = time.perf_counter()
+    fault_point("engine.pool.task")
     matrix = task_fn(task)
     return matrix, time.perf_counter() - t0
 
@@ -84,6 +86,13 @@ class SweepEngine:
         self.cache_dir = Path(cache_dir)
         self.store = ShardStore(cache_dir, config)
         self.bus = EventBus(reporters)
+        # Chaos wiring: injections from an installed FaultPlan surface as
+        # fault_injected events in the run log.  Worker *processes* record
+        # injections in their own plan copy; only inline (jobs=1) faults
+        # and parent-side sites reach this bus.
+        plan = current_plan()
+        if plan is not None:
+            plan.on_inject = lambda ev: self.bus.emit("fault_injected", **ev)
         # Warm-starting only makes sense for the real task function — the
         # fault-injection stubs the tests substitute never calibrate, and
         # paying ~3 s of calibration up front would only slow them down.

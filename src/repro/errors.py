@@ -10,6 +10,8 @@ __all__ = [
     "ModelError",
     "ProfileError",
     "MatrixMarketError",
+    "DeadlineExceededError",
+    "ServiceUnavailableError",
 ]
 
 
@@ -39,3 +41,12 @@ class ProfileError(ReproError):
 
 class MatrixMarketError(ReproError):
     """A Matrix Market file could not be parsed or written."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request outlived its :class:`~repro.resilience.guard.Deadline`."""
+
+
+class ServiceUnavailableError(ReproError):
+    """The service refused work it cannot currently do reliably
+    (circuit breaker open, shutting down); retrying later may succeed."""

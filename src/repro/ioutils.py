@@ -27,6 +27,8 @@ import os
 import time
 from pathlib import Path
 
+from .resilience.faults import fault_point
+
 __all__ = [
     "CACHE_DECODE_ERRORS",
     "atomic_write_json",
@@ -62,7 +64,13 @@ def atomic_write_json(path: str | Path, payload: object) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + f".{os.getpid()}-{next(_TMP_SEQ)}.tmp")
     try:
-        tmp.write_text(json.dumps(payload))
+        # Chaos hooks (no-ops unless a FaultPlan is installed): the first
+        # can corrupt the serialized text, the second models a crash in
+        # the window between the tmp write and the rename.
+        tmp.write_text(
+            fault_point("ioutils.atomic_write_json.data", json.dumps(payload))
+        )
+        fault_point("ioutils.atomic_write_json.replace")
         os.replace(tmp, path)
     except BaseException:
         tmp.unlink(missing_ok=True)

@@ -1,0 +1,378 @@
+"""Deterministic, seeded fault injection for chaos testing.
+
+A :class:`FaultPlan` is a reproducible script of failures: a seeded RNG
+plus per-site rules that fire on an exact hit count (``nth``) or with a
+probability drawn from the plan's own RNG.  Production code calls
+:func:`fault_point` at the places worth breaking — the atomic-write
+rename window, the advisor cache, the cold advise evaluation, the sweep
+worker, the HTTP handler — and with no plan installed each call is a
+single module-global ``None`` check, nothing more.
+
+Three actions exist:
+
+``raise``
+    Raise an exception of a configurable class (default
+    :class:`FaultInjectedError`) at the site.
+``delay``
+    Sleep ``delay_s`` seconds before continuing (for shedding/deadline
+    tests).
+``corrupt``
+    Deterministically mangle the data passing through the site (the
+    JSON text of a cache write, the text of a cache read).
+
+Every site name must be registered in :data:`SITE_CATALOG`; an unknown
+site in a plan is a :class:`ValueError` at plan-build time, and the
+``fault-site`` lint rule (:mod:`repro.analysis`) checks the call sites
+statically against the same catalog.
+
+Plans install three ways, all equivalent:
+
+* API — :func:`install_plan` / the :func:`installed` context manager;
+* environment — ``REPRO_FAULT_PLAN`` holding the plan JSON (picked up at
+  import time, so forked/spawned workers inherit the plan too);
+* CLI — ``--fault-plan PATH|JSON`` on ``serve`` / ``advise`` / sweeps.
+
+Each injection is recorded in ``plan.injections`` (``site``, ``action``,
+``hit``, ``rule``) and forwarded to ``plan.on_inject`` when set — the
+advisor service and the sweep engine wire that callback to their event
+bus as ``fault_injected`` events, so a chaos run's exact fault sequence
+lands in the JSONL run log and is byte-reproducible from the seed.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "SITE_CATALOG",
+    "ACTIONS",
+    "FaultInjectedError",
+    "FaultRule",
+    "FaultPlan",
+    "fault_point",
+    "install_plan",
+    "uninstall_plan",
+    "current_plan",
+    "installed",
+    "install_plan_from_env",
+    "load_plan_spec",
+    "FAULT_PLAN_ENV",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable holding a plan's JSON for subprocess chaos runs.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Every site a :func:`fault_point` call may name, with what breaking it
+#: simulates.  The ``fault-site`` lint rule keeps call sites honest.
+SITE_CATALOG: dict[str, str] = {
+    "ioutils.atomic_write_json.data": (
+        "the serialized JSON text about to be written (corruptible)"
+    ),
+    "ioutils.atomic_write_json.replace": (
+        "the window between writing the tmp file and os.replace — a "
+        "raise here is a mid-write crash"
+    ),
+    "serve.store.save": "saving one advisor cache entry",
+    "serve.store.load": (
+        "reading one advisor cache entry (text passes through, "
+        "corruptible)"
+    ),
+    "serve.service.profile": "machine-profile lookup/calibration",
+    "serve.service.advise": (
+        "the cold advise evaluation (cache-miss inner path); raises "
+        "here feed the circuit breaker"
+    ),
+    "engine.pool.task": "one shard task execution in a sweep worker",
+    "serve.server.request": "HTTP POST handling, after admission",
+}
+
+ACTIONS = ("raise", "delay", "corrupt")
+
+_ERROR_CLASSES: dict[str, type[Exception]] = {
+    "OSError": OSError,
+    "IOError": OSError,
+    "RuntimeError": RuntimeError,
+    "ValueError": ValueError,
+    "TimeoutError": TimeoutError,
+    "ConnectionError": ConnectionError,
+}
+
+
+class FaultInjectedError(Exception):
+    """Raised at a fault point by an installed :class:`FaultPlan`.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults model infrastructure failure, and must exercise the unexpected-
+    exception paths (catch-alls, retries, the circuit breaker), not the
+    domain-error ones.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scripted failure: where, what, and when it triggers.
+
+    Triggers: ``nth`` fires on exactly the nth hit of the site (1-based);
+    ``probability`` fires per-hit from the plan's seeded RNG; with
+    neither, the rule fires on every hit.  ``times`` caps the total
+    number of injections either way.
+    """
+
+    site: str
+    action: str
+    nth: int | None = None
+    probability: float | None = None
+    times: int | None = None
+    delay_s: float = 0.01
+    error: str = "FaultInjected"
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.site not in SITE_CATALOG:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; registered sites: "
+                f"{', '.join(sorted(SITE_CATALOG))}"
+            )
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; one of {ACTIONS}"
+            )
+        if self.nth is not None and self.probability is not None:
+            raise ValueError("a rule takes nth or probability, not both")
+        if self.nth is not None and self.nth < 1:
+            raise ValueError(f"nth is 1-based, got {self.nth}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.error != "FaultInjected" and self.error not in _ERROR_CLASSES:
+            raise ValueError(
+                f"unknown error class {self.error!r}; one of "
+                f"{sorted(_ERROR_CLASSES)} or 'FaultInjected'"
+            )
+
+    def exception(self) -> Exception:
+        cls = _ERROR_CLASSES.get(self.error, FaultInjectedError)
+        return cls(f"{self.message} [site={self.site}]")
+
+    def to_payload(self) -> dict:
+        payload: dict = {"site": self.site, "action": self.action}
+        if self.nth is not None:
+            payload["nth"] = self.nth
+        if self.probability is not None:
+            payload["probability"] = self.probability
+        if self.times is not None:
+            payload["times"] = self.times
+        if self.action == "delay":
+            payload["delay_s"] = self.delay_s
+        if self.action == "raise":
+            payload["error"] = self.error
+            payload["message"] = self.message
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FaultRule":
+        known = {
+            "site", "action", "nth", "probability", "times", "delay_s",
+            "error", "message",
+        }
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(f"unknown fault-rule key(s): {sorted(extra)}")
+        return cls(**payload)
+
+
+def _corrupt(data):
+    """Deterministically mangle the text/bytes flowing through a site."""
+    if data is None:
+        return None
+    if isinstance(data, bytes):
+        return data[: max(1, len(data) // 2)] + b"\x00corrupt"
+    if isinstance(data, str):
+        return data[: max(1, len(data) // 2)] + "\x00corrupt"
+    return data
+
+
+class FaultPlan:
+    """A seeded, reproducible script of injected faults.
+
+    Thread-safe: hit counters, the RNG, and the injection record are all
+    guarded by one lock; the actions themselves (sleep, raise) run
+    outside it so a delay at one site never blocks another.
+    """
+
+    def __init__(
+        self, rules: tuple[FaultRule, ...] | list | None = None, *, seed: int = 0
+    ) -> None:
+        self.rules = tuple(rules or ())
+        self.seed = seed
+        self.on_inject: Callable[[dict], None] | None = None
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._hits: dict[str, int] = {}
+        self._fired: dict[int, int] = {}
+        self.injections: list[dict] = []
+
+    # ------------------------------ apply ------------------------------ #
+    def apply(self, site: str, data=None):
+        """Run ``site``'s triggered rules; returns (possibly mangled) data."""
+        with self._lock:
+            hit = self._hits.get(site, 0) + 1
+            self._hits[site] = hit
+            triggered: list[tuple[FaultRule, dict]] = []
+            for idx, rule in enumerate(self.rules):
+                if rule.site != site:
+                    continue
+                if rule.times is not None and self._fired.get(idx, 0) >= rule.times:
+                    continue
+                if rule.nth is not None:
+                    fire = hit == rule.nth
+                elif rule.probability is not None:
+                    fire = self._rng.random() < rule.probability
+                else:
+                    fire = True
+                if not fire:
+                    continue
+                self._fired[idx] = self._fired.get(idx, 0) + 1
+                event = {
+                    "site": site, "action": rule.action, "hit": hit, "rule": idx,
+                }
+                self.injections.append(event)
+                triggered.append((rule, event))
+        for rule, event in triggered:
+            callback = self.on_inject
+            if callback is not None:
+                callback(event)
+            logger.warning(
+                "fault injected: %s at %s (hit %d)", rule.action, site, hit
+            )
+            if rule.action == "delay":
+                time.sleep(rule.delay_s)
+            elif rule.action == "corrupt":
+                data = _corrupt(data)
+            elif rule.action == "raise":
+                raise rule.exception()
+        return data
+
+    def hit_count(self, site: str) -> int:
+        with self._lock:
+            return self._hits.get(site, 0)
+
+    # --------------------------- (de)serialize -------------------------- #
+    def to_payload(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": [r.to_payload() for r in self.rules],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        known = {"seed", "rules"}
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(f"unknown fault-plan key(s): {sorted(extra)}")
+        rules = [FaultRule.from_payload(r) for r in payload.get("rules", [])]
+        return cls(rules, seed=int(payload.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_payload(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Global installation
+# --------------------------------------------------------------------------- #
+
+_PLAN: FaultPlan | None = None
+
+
+def fault_point(site: str, data=None):
+    """The production-side hook: a no-op unless a plan is installed.
+
+    Returns ``data`` (possibly corrupted by a ``corrupt`` rule), so write
+    paths can thread their payload through: ``text = fault_point(site, text)``.
+    """
+    plan = _PLAN
+    if plan is None:
+        return data
+    return plan.apply(site, data)
+
+
+def install_plan(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` globally for this process; returns it."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def uninstall_plan() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def current_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+@contextmanager
+def installed(plan: FaultPlan):
+    """Install ``plan`` for the duration of a ``with`` block (tests)."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+
+
+def load_plan_spec(spec: str) -> FaultPlan:
+    """A plan from inline JSON (leading ``{``) or a JSON file path."""
+    text = spec if spec.lstrip().startswith("{") else Path(spec).read_text()
+    return FaultPlan.from_json(text)
+
+
+def install_plan_from_env(environ=os.environ) -> FaultPlan | None:
+    """Install the ``REPRO_FAULT_PLAN`` plan, if the variable is set.
+
+    Raises :class:`ValueError` on a malformed plan — an explicitly
+    requested chaos run must never silently degrade to a fault-free one.
+    """
+    text = environ.get(FAULT_PLAN_ENV)
+    if not text:
+        return None
+    return install_plan(FaultPlan.from_json(text))
+
+
+def _install_from_env_tolerant() -> None:
+    """Import-time pickup of ``REPRO_FAULT_PLAN`` (worker inheritance).
+
+    Tolerant: a malformed plan at import time logs a warning instead of
+    making ``import repro`` impossible; the strict path is
+    :func:`install_plan_from_env` (used by the CLI).
+    """
+    try:
+        install_plan_from_env()
+    except ValueError as exc:
+        logger.warning("ignoring malformed %s: %s", FAULT_PLAN_ENV, exc)
+
+
+_install_from_env_tolerant()

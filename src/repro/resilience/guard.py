@@ -1,0 +1,170 @@
+"""Deadlines and circuit breaking for the advisor's serving path.
+
+:class:`Deadline` is a monotonic-clock budget created once per request
+(``service.advise(deadline=...)``) and checked at phase boundaries of the
+evaluation, so an over-budget request fails fast with
+:class:`~repro.errors.DeadlineExceededError` (HTTP 504) instead of
+holding a handler thread for the full evaluation.
+
+:class:`CircuitBreaker` protects the expensive cold-advise path: after
+``failure_threshold`` *consecutive* cold failures it opens, cold requests
+are refused immediately (:class:`~repro.errors.ServiceUnavailableError`,
+HTTP 503 — or a ``"degraded": true`` answer straight from the cache when
+one exists), and after ``reset_timeout_s`` a single half-open probe is
+let through: success closes the breaker, failure re-opens it.  The
+advisor keeps one breaker per precision, because each precision has its
+own calibrated profile and failure domain.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import DeadlineExceededError
+
+__all__ = [
+    "Deadline",
+    "BreakerConfig",
+    "CircuitBreaker",
+]
+
+
+class Deadline:
+    """A monotonic time budget, checked at phase boundaries.
+
+    Immutable after construction; sharing one across threads is safe.
+    """
+
+    def __init__(
+        self,
+        timeout_s: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout_s < 0:
+            raise ValueError(f"timeout_s must be >= 0, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self._clock = clock
+        self._expires_at = clock() + timeout_s
+
+    @classmethod
+    def after(
+        cls, timeout_s: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        return cls(timeout_s, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            where = f" at {label}" if label else ""
+            raise DeadlineExceededError(
+                f"deadline of {self.timeout_s:.3f}s exceeded{where}"
+            )
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one :class:`CircuitBreaker`."""
+
+    failure_threshold: int = 5
+    reset_timeout_s: float = 30.0
+    clock: Callable[[], float] = time.monotonic
+
+
+class CircuitBreaker:
+    """Closed → open → half-open → closed, driven by consecutive failures.
+
+    ``allow()`` gates the protected call; ``record_success`` /
+    ``record_failure`` report its outcome and return the transition they
+    caused (``"open"`` / ``"close"`` / ``None``) so the caller can emit
+    breaker events without the breaker knowing about event buses.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._maybe_half_open()
+
+    def _maybe_half_open(self) -> str:
+        """Current state, observing the reset timeout (lock held)."""
+        if (
+            self._state == self.OPEN
+            and self.config.clock() - self._opened_at
+            >= self.config.reset_timeout_s
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a (cold) call proceed?  Half-open admits a single probe."""
+        with self._lock:
+            state = self._maybe_half_open()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and self._state == self.OPEN:
+                # Claim the probe: a second caller sees HALF_OPEN with
+                # _state already HALF_OPEN and is refused.
+                self._state = self.HALF_OPEN
+                return True
+            return False
+
+    def record_success(self) -> str | None:
+        with self._lock:
+            self._failures = 0
+            if self._state != self.CLOSED:
+                self._state = self.CLOSED
+                return "close"
+            return None
+
+    def record_failure(self) -> str | None:
+        with self._lock:
+            self._failures += 1
+            tripped = (
+                self._state == self.HALF_OPEN
+                or (
+                    self._state == self.CLOSED
+                    and self._failures >= self.config.failure_threshold
+                )
+            )
+            if tripped:
+                self._state = self.OPEN
+                self._opened_at = self.config.clock()
+                return "open"
+            return None
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def snapshot(self) -> dict:
+        """State for ``GET /stats``."""
+        with self._lock:
+            return {
+                "state": self._maybe_half_open(),
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.config.failure_threshold,
+                "reset_timeout_s": self.config.reset_timeout_s,
+            }

@@ -1,0 +1,250 @@
+"""Mixed-traffic chaos smoke for the advisor server (CI's ``chaos`` step).
+
+Launches a real ``repro serve`` subprocess on an ephemeral port with an
+injected store-fault plan, hammers it with concurrent ``/advise`` clients
+for ``--duration`` seconds, then sends SIGTERM and verifies the graceful
+shutdown contract end to end:
+
+* every client response is one of the allowed statuses (200 success,
+  503 shed/degraded, 504 deadline) — never a dropped connection or an
+  HTML error page;
+* at least one request succeeds despite the injected faults (cache saves
+  are best-effort, so store faults must not fail requests);
+* after SIGTERM the process drains and exits 0 within the drain budget;
+* every client thread joins — no hung threads.
+
+Run it directly::
+
+    python -m repro.resilience.smoke --duration 30
+
+Exit status 0 on success, 1 with a diagnosis on the first violated check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+#: Statuses a hardened server may legitimately answer under chaos.
+ALLOWED_STATUSES = frozenset({200, 503, 504})
+
+#: Store-level faults only: request handling must survive all of these
+#: (saves are best-effort; corrupt/missing entries are recomputed).
+SMOKE_FAULT_PLAN = {
+    "seed": 1337,
+    "rules": [
+        {"site": "serve.store.save", "action": "raise", "probability": 0.3},
+        {
+            "site": "ioutils.atomic_write_json.data",
+            "action": "corrupt",
+            "probability": 0.2,
+        },
+        {"site": "serve.store.load", "action": "delay", "probability": 0.2,
+         "delay_s": 0.02},
+    ],
+}
+
+#: Cheapest suite matrices on a small container (dense, pwtk, stomach).
+SMOKE_MATRICES = ("dense", "pwtk", "stomach")
+
+_LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+class ClientStats:
+    """Thread-safe tally of what the traffic generators observed."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.statuses: dict[int, int] = {}
+        self.violations: list[str] = []
+
+    def record(self, status: int) -> None:
+        with self.lock:
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            if status not in ALLOWED_STATUSES:
+                self.violations.append(f"unexpected HTTP status {status}")
+
+    def record_error(self, message: str) -> None:
+        with self.lock:
+            self.violations.append(message)
+
+
+def _post_advise(base_url: str, suite: str, timeout: float) -> int:
+    body = json.dumps({"suite": suite, "top": 1}).encode()
+    req = urllib.request.Request(
+        f"{base_url}/advise",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            resp.read()
+            return resp.status
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code
+
+
+def _client_loop(
+    base_url: str, suite: str, stop: threading.Event, stats: ClientStats
+) -> None:
+    while not stop.is_set():
+        try:
+            stats.record(_post_advise(base_url, suite, timeout=30))
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            if stop.is_set():
+                return  # shutdown race: the server went away on purpose
+            stats.record_error(f"request failed: {type(exc).__name__}: {exc}")
+            return
+        time.sleep(0.05)
+
+
+def _wait_for_port(proc: subprocess.Popen, deadline_s: float) -> str:
+    """The server's base URL, parsed from its announcement line."""
+    t0 = time.monotonic()
+    assert proc.stdout is not None
+    while time.monotonic() - t0 < deadline_s:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                "server exited before announcing its port "
+                f"(rc={proc.poll()})"
+            )
+        match = _LISTEN_RE.search(line)
+        if match:
+            return f"http://{match.group(1)}:{match.group(2)}"
+    raise RuntimeError(f"server did not announce a port in {deadline_s:.0f}s")
+
+
+def run_smoke(
+    duration_s: float = 30.0,
+    *,
+    clients_per_matrix: int = 2,
+    startup_timeout_s: float = 120.0,
+    drain_timeout_s: float = 30.0,
+) -> int:
+    """Run the chaos smoke; returns a process exit status (0 = pass)."""
+    failures: list[str] = []
+    stats = ClientStats()
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as cache_dir:
+        env = dict(os.environ)
+        env["PYTHONUNBUFFERED"] = "1"
+        # stderr goes to a file, not a pipe: the server logs every injected
+        # fault there, and an undrained pipe would eventually block it.
+        stderr_path = os.path.join(cache_dir, "server.stderr")
+        stderr_file = open(stderr_path, "w", encoding="utf-8")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--cache-dir", cache_dir,
+                "--fault-plan", json.dumps(SMOKE_FAULT_PLAN),
+                "--request-timeout", "60",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=stderr_file,
+            text=True,
+            env=env,
+        )
+        threads: list[threading.Thread] = []
+        stop = threading.Event()
+        try:
+            base_url = _wait_for_port(proc, startup_timeout_s)
+            print(f"smoke: server up at {base_url}", flush=True)
+            # Warm the service once so the traffic below exercises both the
+            # cold and the cached path (first advise pays calibration).
+            first = _post_advise(base_url, SMOKE_MATRICES[0], timeout=180)
+            stats.record(first)
+            print(f"smoke: first advise -> {first}", flush=True)
+
+            for suite in SMOKE_MATRICES:
+                for i in range(clients_per_matrix):
+                    t = threading.Thread(
+                        target=_client_loop,
+                        args=(base_url, suite, stop, stats),
+                        name=f"client-{suite}-{i}",
+                        daemon=True,
+                    )
+                    t.start()
+                    threads.append(t)
+            time.sleep(duration_s)
+        except Exception as exc:  # noqa: BLE001 - smoke harness diagnosis
+            failures.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=60)
+            hung = [t.name for t in threads if t.is_alive()]
+            if hung:
+                failures.append(f"hung client thread(s): {hung}")
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                try:
+                    proc.wait(timeout=drain_timeout_s)
+                except subprocess.TimeoutExpired:
+                    failures.append(
+                        f"server did not drain within {drain_timeout_s:.0f}s "
+                        "of SIGTERM"
+                    )
+                    proc.kill()
+                    proc.wait()
+            if proc.returncode != 0:
+                failures.append(
+                    f"server exited with status {proc.returncode}"
+                )
+            stderr_file.close()
+            with open(stderr_path, encoding="utf-8") as fh:
+                stderr_tail = fh.read()[-4000:]
+
+    failures.extend(stats.violations)
+    if 200 not in stats.statuses:
+        failures.append("no request ever succeeded under injected faults")
+
+    print(f"smoke: statuses {dict(sorted(stats.statuses.items()))}", flush=True)
+    if failures:
+        print("smoke: FAIL", flush=True)
+        for failure in failures:
+            print(f"  - {failure}", flush=True)
+        if stderr_tail.strip():
+            print("--- server stderr tail ---", flush=True)
+            print(stderr_tail, flush=True)
+        return 1
+    print(
+        f"smoke: PASS ({sum(stats.statuses.values())} requests, "
+        "clean drain)",
+        flush=True,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.smoke",
+        description="mixed-traffic chaos smoke against a live repro serve",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="seconds of mixed traffic after warmup (default 30)",
+    )
+    parser.add_argument(
+        "--clients-per-matrix", type=int, default=2,
+        help="concurrent client threads per suite matrix (default 2)",
+    )
+    args = parser.parse_args(argv)
+    return run_smoke(
+        args.duration, clients_per_matrix=args.clients_per_matrix
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,37 +5,170 @@ A deliberately small ``http.server`` wrapper — no third-party web framework
 
 * ``POST /advise`` — body ``{"suite": "<name-or-idx>"}`` or
   ``{"matrix_market": "<file contents>"}``, plus optional ``model``,
-  ``precision``, ``nthreads``, ``prune``, ``top``; answers with the ranked
-  recommendation as JSON;
-* ``GET /healthz`` — liveness probe;
-* ``GET /stats`` — the service counters (requests, cache hits/misses,
-  errors, timeouts, mean latency, cache entries).
+  ``precision``, ``nthreads``, ``prune``, ``top``, ``timeout_s``; answers
+  with the ranked recommendation as JSON;
+* ``GET /healthz`` — liveness probe (reports draining state);
+* ``GET /stats`` — the service counters plus the resilience section
+  (event tallies, per-precision breaker states).
 
 :class:`ThreadingHTTPServer` gives one thread per connection; the service
 underneath is thread-safe, so concurrent ``POST /advise`` requests are
-supported out of the box.
+supported out of the box.  On top of that the server is hardened for
+production traffic (see ``docs/resilience.md``):
+
+* **bounded admission** — at most ``max_inflight`` concurrent ``/advise``
+  requests; excess load is shed immediately with a 503 +
+  ``Retry-After`` (``request_shed`` event) instead of queueing without
+  bound;
+* **deadlines** — ``request_timeout_s`` (overridable per request via the
+  ``timeout_s`` body field, capped by the server limit) bounds each
+  advise; an over-budget request gets a 504
+  (``request_deadline_exceeded`` event);
+* **degraded mode** — with the circuit breaker open, cached matrices are
+  answered with ``"degraded": true`` and uncached ones get a 503;
+* **catch-all** — an unexpected exception becomes a JSON 500 with the
+  traceback logged, never a silently dropped connection;
+* **graceful drain** — SIGTERM/SIGINT stop the accept loop, in-flight
+  requests get ``drain_timeout_s`` to finish (``drain_begin`` /
+  ``drain_end`` events), and the final stats snapshot is flushed to
+  stderr before exit.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..errors import ReproError
+from ..errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceUnavailableError,
+)
+from ..resilience.faults import fault_point
+from ..resilience.guard import Deadline
 from .service import AdvisorService
 
-__all__ = ["create_server", "serve_forever", "AdvisorRequestHandler"]
+__all__ = [
+    "create_server",
+    "run_server",
+    "serve_forever",
+    "AdvisorHTTPServer",
+    "AdvisorRequestHandler",
+    "DEFAULT_MAX_BODY_BYTES",
+    "MAX_BODY_BYTES",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_DRAIN_TIMEOUT_S",
+]
 
 logger = logging.getLogger(__name__)
 
-MAX_BODY_BYTES = 256 * 1024 * 1024
+#: Request-body ceiling.  8 MiB fits any realistic Matrix Market upload
+#: this advisor should see; bigger bodies get a 413.  Constructor- and
+#: CLI-overridable (``--max-body-bytes``).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Concurrent /advise requests admitted before shedding with a 503.
+DEFAULT_MAX_INFLIGHT = 8
+#: How long a drain waits for in-flight requests before giving up.
+DEFAULT_DRAIN_TIMEOUT_S = 10.0
+#: Seconds a shed client is told to wait before retrying.
+RETRY_AFTER_S = 1
+
+#: Backwards-compatible alias (pre-1.1 name for the body ceiling).
+MAX_BODY_BYTES = DEFAULT_MAX_BODY_BYTES
+
+
+class AdvisorHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer plus admission control and drain."""
+
+    def __init__(
+        self,
+        server_address,
+        handler_class,
+        service: AdvisorService,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        request_timeout_s: float | None = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+    ) -> None:
+        super().__init__(server_address, handler_class)
+        self.service = service
+        self.max_inflight = max_inflight
+        self.request_timeout_s = request_timeout_s
+        self.max_body_bytes = max_body_bytes
+        self.drain_timeout_s = drain_timeout_s
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._draining = False
+
+    # --------------------------- admission ----------------------------- #
+    def try_admit(self) -> bool:
+        """Claim an in-flight slot; False sheds the request (503)."""
+        with self._state_lock:
+            if self._draining or self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._state_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._state_lock:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        with self._state_lock:
+            return self._draining
+
+    # ----------------------------- drain ------------------------------- #
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Stop accepting, let in-flight requests finish, report cleanliness.
+
+        Must be called from a thread other than the one running
+        ``serve_forever`` (``shutdown()`` blocks until the accept loop
+        exits).  Returns True when every in-flight request completed
+        within the timeout.
+        """
+        timeout = self.drain_timeout_s if timeout_s is None else timeout_s
+        with self._state_lock:
+            self._draining = True
+            inflight = self._inflight
+        bus = self.service.bus
+        bus.emit("drain_begin", inflight=inflight)
+        t0 = time.monotonic()
+        self.shutdown()
+        while True:
+            remaining = self.inflight
+            if remaining == 0 or time.monotonic() - t0 >= timeout:
+                break
+            time.sleep(0.02)
+        elapsed = time.monotonic() - t0
+        clean = remaining == 0
+        bus.emit(
+            "drain_end",
+            inflight=remaining,
+            elapsed_s=round(elapsed, 3),
+            clean=clean,
+        )
+        if not clean:
+            logger.warning(
+                "drain timed out after %.1fs with %d request(s) in flight",
+                elapsed, remaining,
+            )
+        return clean
 
 
 class AdvisorRequestHandler(BaseHTTPRequestHandler):
     """Routes requests to the server's attached :class:`AdvisorService`."""
 
-    server_version = "repro-advisor/1.0"
+    server_version = "repro-advisor/1.1"
     protocol_version = "HTTP/1.1"
 
     # The handler is instantiated per request; the service hangs off the
@@ -48,21 +181,43 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
         logger.debug("%s - %s", self.address_string(), format % args)
 
     # ------------------------------ helpers ----------------------------- #
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _error(
+        self, status: int, message: str, headers: dict | None = None
+    ) -> None:
+        # Error paths may leave the request body unread (e.g. a 413 never
+        # reads it), which would desynchronise a keep-alive connection —
+        # so errors always close it.
+        self.close_connection = True
+        self._send_json(status, {"error": message}, headers)
 
     # ------------------------------- GET -------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            self._handle_get()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client hung up; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - catch-all: JSON 500
+            self._internal_error("GET", exc)
+
+    def _handle_get(self) -> None:
         if self.path == "/healthz":
-            self._send_json(200, {"status": "ok"})
+            draining = self.server.draining  # type: ignore[attr-defined]
+            self._send_json(
+                200,
+                {"status": "draining" if draining else "ok"},
+            )
         elif self.path == "/stats":
             self._send_json(200, self.service.stats())
         else:
@@ -73,13 +228,54 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
         if self.path != "/advise":
             self._error(404, f"unknown path {self.path!r}")
             return
+        server: AdvisorHTTPServer = self.server  # type: ignore[assignment]
+        if not server.try_admit():
+            self.service.bus.emit(
+                "request_shed",
+                inflight=server.inflight,
+                limit=server.max_inflight,
+            )
+            self._error(
+                503,
+                "server at capacity or draining; retry later",
+                headers={"Retry-After": str(RETRY_AFTER_S)},
+            )
+            return
+        try:
+            self._handle_advise(server)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client hung up; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - catch-all: JSON 500
+            self._internal_error("POST", exc)
+        finally:
+            server.release()
+
+    def _internal_error(self, method: str, exc: Exception) -> None:
+        """Last-resort handler: log the traceback, try to answer 500."""
+        logger.exception("unhandled error serving %s %s", method, self.path)
+        try:
+            self._error(
+                500, f"internal server error: {type(exc).__name__}: {exc}"
+            )
+        except OSError:
+            pass  # headers already gone or socket dead; logged above
+
+    def _handle_advise(self, server: AdvisorHTTPServer) -> None:
+        fault_point("serve.server.request")
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             self._error(400, "bad Content-Length")
             return
-        if length <= 0 or length > MAX_BODY_BYTES:
-            self._error(400, "missing or oversized request body")
+        if length > server.max_body_bytes:
+            self._error(
+                413,
+                f"request body of {length} bytes exceeds the limit of "
+                f"{server.max_body_bytes} bytes",
+            )
+            return
+        if length <= 0:
+            self._error(400, "missing request body")
             return
         try:
             request = json.loads(self.rfile.read(length))
@@ -92,6 +288,7 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
 
         try:
             matrix = self._resolve(request)
+            timeout_s = self._timeout_for(request, server)
         except (ReproError, ValueError, KeyError) as exc:
             self._error(400, str(exc))
             return
@@ -101,8 +298,23 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
             if opt in request:
                 options[opt] = request[opt]
         top = request.get("top", 3)
+        deadline = Deadline(timeout_s) if timeout_s is not None else None
+        t0 = time.monotonic()
         try:
-            rec = self.service.advise(matrix, **options)
+            rec = self.service.advise(matrix, deadline=deadline, **options)
+        except DeadlineExceededError as exc:
+            self.service.bus.emit(
+                "request_deadline_exceeded",
+                timeout_s=timeout_s,
+                elapsed_s=round(time.monotonic() - t0, 3),
+            )
+            self._error(504, str(exc))
+            return
+        except ServiceUnavailableError as exc:
+            self._error(
+                503, str(exc), headers={"Retry-After": str(RETRY_AFTER_S)}
+            )
+            return
         except ReproError as exc:
             self._error(422, f"{type(exc).__name__}: {exc}")
             return
@@ -113,6 +325,7 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
 
         payload = rec.to_payload()
         payload["cache_hit"] = rec.cache_hit
+        payload["degraded"] = rec.degraded
         payload["elapsed_s"] = rec.elapsed_s
         payload["best"] = rec.best.to_payload()
         payload["best"]["label"] = rec.best.label
@@ -120,6 +333,23 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
             payload["ranking"] = [r.to_payload() for r in rec.top(top)]
         payload.pop("features", None)  # verbose; fetch via the library API
         self._send_json(200, payload)
+
+    @staticmethod
+    def _timeout_for(request: dict, server: AdvisorHTTPServer) -> float | None:
+        """The request's deadline budget: body override, server default.
+
+        A client may tighten the server's ``request_timeout_s`` but never
+        loosen past it.
+        """
+        timeout = server.request_timeout_s
+        if "timeout_s" in request:
+            value = request["timeout_s"]
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(
+                    f"timeout_s must be a positive number, got {value!r}"
+                )
+            timeout = min(value, timeout) if timeout is not None else value
+        return timeout
 
     def _resolve(self, request: dict):
         """A COOMatrix (or suite spec) from the request body."""
@@ -142,24 +372,82 @@ def create_server(
     service: AdvisorService,
     host: str = "127.0.0.1",
     port: int = 8077,
-) -> ThreadingHTTPServer:
-    """A ready-to-run server; call ``serve_forever()`` (or use a thread)."""
-    server = ThreadingHTTPServer((host, port), AdvisorRequestHandler)
-    server.service = service  # type: ignore[attr-defined]
-    return server
+    *,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    request_timeout_s: float | None = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+) -> AdvisorHTTPServer:
+    """A ready-to-run server; call ``serve_forever()`` (or use a thread).
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address[1]``.
+    """
+    return AdvisorHTTPServer(
+        (host, port),
+        AdvisorRequestHandler,
+        service,
+        max_inflight=max_inflight,
+        request_timeout_s=request_timeout_s,
+        max_body_bytes=max_body_bytes,
+        drain_timeout_s=drain_timeout_s,
+    )
+
+
+def run_server(server: AdvisorHTTPServer) -> bool:
+    """Serve until SIGTERM/SIGINT, then drain gracefully.
+
+    The accept loop runs in a background thread while the calling thread
+    waits for a stop signal, so ``server.drain()`` (which blocks on
+    ``shutdown()``) can run safely from here.  Returns True for a clean
+    drain.  Signal handlers are installed only when running in the main
+    thread (tests call ``server.drain()`` directly instead).
+    """
+    import signal
+
+    stop = threading.Event()
+    installed_handlers: dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+        def _request_stop(signum, frame):  # noqa: ARG001 - signal signature
+            stop.set()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            installed_handlers[sig] = signal.signal(sig, _request_stop)
+
+    loop = threading.Thread(target=server.serve_forever, daemon=True)
+    loop.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        clean = server.drain()
+        server.server_close()
+        loop.join(timeout=5)
+        # Flush the final stats snapshot where log collectors will see it.
+        print(
+            json.dumps({"final_stats": server.service.stats()}),
+            file=__import__("sys").stderr,
+            flush=True,
+        )
+        import signal as _signal
+
+        for sig, old in installed_handlers.items():
+            _signal.signal(sig, old)
+    return clean
 
 
 def serve_forever(
     service: AdvisorService,
     host: str = "127.0.0.1",
     port: int = 8077,
-) -> None:
-    server = create_server(service, host, port)
+    **server_kwargs,
+) -> bool:
+    """Create a server, announce the bound address, serve until signalled."""
+    server = create_server(service, host, port, **server_kwargs)
     addr = f"http://{server.server_address[0]}:{server.server_address[1]}"
-    print(f"advisor listening on {addr}  (POST /advise, GET /healthz, /stats)")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
+    print(
+        f"advisor listening on {addr}  (POST /advise, GET /healthz, /stats)",
+        flush=True,
+    )
+    return run_server(server)

@@ -18,6 +18,7 @@
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -29,10 +30,13 @@ from typing import Sequence
 from ..core.candidates import FIXED_BLOCK_KINDS, Candidate, candidate_space
 from ..core.profiling import ProfileCache, ProfileStore
 from ..core.selection import evaluate_candidates
-from ..errors import ModelError, ReproError
+from ..engine.events import EventBus
+from ..errors import ModelError, ReproError, ServiceUnavailableError
 from ..formats.coo import COOMatrix
 from ..machine.machine import MachineModel
 from ..machine.presets import get_preset
+from ..resilience.faults import current_plan, fault_point
+from ..resilience.guard import BreakerConfig, CircuitBreaker, Deadline
 from ..types import Impl, Precision
 from .features import FEATURES_VERSION, MatrixFeatures, extract_features
 from .pruning import PruneConfig, PruneDecision, prune_candidates
@@ -46,6 +50,8 @@ __all__ = [
     "AdvisorService",
     "resolve_matrix",
 ]
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_MACHINE = "core2-xeon-2.66"
 
@@ -157,6 +163,10 @@ class Recommendation:
     n_structures_total: int
     elapsed_s: float
     cache_hit: bool = False
+    #: True when the answer was served from cache *because* the circuit
+    #: breaker is open (the cold path is refusing work).  Like
+    #: ``cache_hit`` this is per-response state, never persisted.
+    degraded: bool = False
     features: dict | None = None
     pruned_structures: dict[str, str] = field(default_factory=dict)
     #: Phase → seconds breakdown of the evaluation (convert / stats /
@@ -223,6 +233,23 @@ class AdviseError:
     elapsed_s: float = 0.0
 
 
+class _EventCounter:
+    """Bus reporter that tallies resilience events for ``GET /stats``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counts: dict[str, int] = {}
+
+    def handle(self, event: dict) -> None:
+        kind = event["event"]
+        with self._lock:
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.counts)
+
+
 class AdvisorService:
     """Thread-safe advise/advise_many over one machine model.
 
@@ -239,6 +266,8 @@ class AdvisorService:
         cache_dir: str | Path | None = ".repro_cache",
         profile_cache: ProfileCache | None = None,
         prune_config: PruneConfig | None = None,
+        breaker_config: BreakerConfig | None = None,
+        reporters: tuple | list = (),
     ) -> None:
         self.machine = (
             machine if machine is not None else get_preset(DEFAULT_MACHINE)
@@ -266,13 +295,40 @@ class AdvisorService:
             "errors": 0,
             "timeouts": 0,
             "batches": 0,
+            "degraded": 0,
         }
         self._latency_total_s = 0.0
         self._latency_count = 0
+        # Resilience: one circuit breaker per precision (each precision is
+        # its own failure domain), and an event bus carrying the
+        # resilience event stream (fault_injected, breaker_*, request_*,
+        # drain_*) into /stats and any subscribed run log.
+        self.breaker_config = (
+            breaker_config if breaker_config is not None else BreakerConfig()
+        )
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self.bus = EventBus(reporters)
+        self._event_counter = _EventCounter()
+        self.bus.subscribe(self._event_counter)
+        plan = current_plan()
+        if plan is not None:
+            plan.on_inject = lambda ev: self.bus.emit("fault_injected", **ev)
+
+    # ---------------------------- resilience ---------------------------- #
+    def _breaker(self, precision: Precision) -> CircuitBreaker:
+        key = precision.value
+        with self._breaker_lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(self.breaker_config)
+                self._breakers[key] = breaker
+            return breaker
 
     # ----------------------------- profiling --------------------------- #
     def _profile_and_token(self, precision: Precision):
         """The calibrated profile and its cache token (thread-safe)."""
+        fault_point("serve.service.profile")
         with self._profile_lock:
             profile = self.profile_cache.get(self.machine, precision)
             token = self._tokens.get(precision)
@@ -292,10 +348,22 @@ class AdvisorService:
         prune: bool = True,
         use_cache: bool = True,
         max_block_elems: int = 8,
+        deadline: Deadline | None = None,
     ) -> Recommendation:
-        """Recommend (format, block, implementation) tuples for ``matrix``."""
+        """Recommend (format, block, implementation) tuples for ``matrix``.
+
+        ``deadline`` bounds the request: it is checked at every phase
+        boundary of the evaluation, and an expired deadline raises
+        :class:`~repro.errors.DeadlineExceededError` (HTTP 504 on the
+        server) instead of holding the thread for the full evaluation.
+        """
         t0 = time.perf_counter()
         self._bump("requests")
+        # A plan installed after service construction (API/tests) still gets
+        # its injections surfaced as fault_injected events.
+        plan = current_plan()
+        if plan is not None and plan.on_inject is None:
+            plan.on_inject = lambda ev: self.bus.emit("fault_injected", **ev)
         try:
             rec = self._advise_inner(
                 matrix,
@@ -307,6 +375,7 @@ class AdvisorService:
                     max_block_elems=max_block_elems,
                 ),
                 use_cache=use_cache,
+                deadline=deadline,
             )
         except Exception:
             self._bump("errors")
@@ -323,13 +392,19 @@ class AdvisorService:
         options: AdviseOptions,
         *,
         use_cache: bool,
+        deadline: Deadline | None = None,
     ) -> Recommendation:
         from .features import matrix_fingerprint
 
+        if deadline is not None:
+            deadline.check("admission")
         coo = resolve_matrix(matrix)
         precision = Precision.coerce(options.precision)
         profile, token = self._profile_and_token(precision)
         fingerprint = matrix_fingerprint(coo)
+        breaker = self._breaker(precision)
+        if deadline is not None:
+            deadline.check("profile")
 
         key = None
         if self.store is not None and use_cache:
@@ -337,36 +412,70 @@ class AdvisorService:
             payload = self.store.load(key, token=token)
             if payload is not None:
                 self._bump("cache_hits")
-                return Recommendation.from_payload(payload, cache_hit=True)
+                rec = Recommendation.from_payload(payload, cache_hit=True)
+                # Degraded mode: with the breaker open the cold path is
+                # refusing work, but a cached answer is still a correct
+                # answer — serve it, flagged.
+                if breaker.state == CircuitBreaker.OPEN:
+                    rec.degraded = True
+                    self._bump("degraded")
+                return rec
+        if not breaker.allow():
+            raise ServiceUnavailableError(
+                f"advisor circuit breaker is open for precision "
+                f"{precision} (after {breaker.consecutive_failures} "
+                "consecutive cold-advise failures) and no cached "
+                "recommendation exists for this matrix; retry later"
+            )
         self._bump("cache_misses")
 
-        candidates = candidate_space(
-            max_block_elems=options.max_block_elems, include_vbl=False
-        )
-        n_structures_total = len({(c.kind, c.block) for c in candidates})
-        features: MatrixFeatures | None = None
-        decision: PruneDecision | None = None
-        pool = candidates
-        if options.prune:
-            features = extract_features(coo)
-            decision = prune_candidates(
-                features, candidates, self.prune_config, precision=precision
+        # Everything from here to the end of the ranking is the breaker's
+        # protected window: consecutive failures open it, a half-open
+        # probe's outcome closes or re-opens it.
+        try:
+            fault_point("serve.service.advise")
+            candidates = candidate_space(
+                max_block_elems=options.max_block_elems, include_vbl=False
             )
-            pool = decision.kept
+            n_structures_total = len({(c.kind, c.block) for c in candidates})
+            features: MatrixFeatures | None = None
+            decision: PruneDecision | None = None
+            pool = candidates
+            if options.prune:
+                features = extract_features(coo)
+                decision = prune_candidates(
+                    features, candidates, self.prune_config,
+                    precision=precision,
+                )
+                pool = decision.kept
+            if deadline is not None:
+                deadline.check("prune")
 
-        timings: dict[str, float] = {}
-        results = evaluate_candidates(
-            coo,
-            self.machine,
-            precision,
-            candidates=pool,
-            models=(options.model,),
-            profile=profile,
-            run_simulation=False,
-            nthreads=options.nthreads,
-            timings=timings,
-        )
-        ranking = _rank(results, options.model)
+            timings: dict[str, float] = {}
+            results = evaluate_candidates(
+                coo,
+                self.machine,
+                precision,
+                candidates=pool,
+                models=(options.model,),
+                profile=profile,
+                run_simulation=False,
+                nthreads=options.nthreads,
+                timings=timings,
+            )
+            if deadline is not None:
+                deadline.check("evaluate")
+            ranking = _rank(results, options.model)
+        except Exception:
+            if breaker.record_failure() == "open":
+                self.bus.emit(
+                    "breaker_open",
+                    precision=precision.value,
+                    failures=breaker.consecutive_failures,
+                )
+            raise
+        if breaker.record_success() == "close":
+            self.bus.emit("breaker_close", precision=precision.value)
         rec = Recommendation(
             fingerprint=fingerprint,
             nrows=coo.nrows,
@@ -384,9 +493,19 @@ class AdvisorService:
             phase_timings={k: round(v, 6) for k, v in timings.items()},
         )
         if self.store is not None and use_cache and key is not None:
-            self.store.save(
-                key, rec.to_payload(), fingerprint=fingerprint, token=token
-            )
+            # Best-effort: a failed cache save (full disk, injected store
+            # fault) must not fail a request whose answer is already
+            # computed — the atomic writer guarantees no partial entry is
+            # left behind, and the next request simply recomputes.
+            try:
+                self.store.save(
+                    key, rec.to_payload(), fingerprint=fingerprint, token=token
+                )
+            except Exception as exc:  # noqa: BLE001 - save is best-effort
+                logger.warning(
+                    "advisor cache save failed (%s: %s); serving uncached",
+                    type(exc).__name__, exc,
+                )
         return rec
 
     # --------------------------- batch advise --------------------------- #
@@ -466,6 +585,15 @@ class AdvisorService:
             self.store.entry_count() if self.store is not None else 0
         )
         snap["persistent_cache"] = self.store is not None
+        with self._breaker_lock:
+            breakers = dict(self._breakers)
+        snap["resilience"] = {
+            "events": self._event_counter.snapshot(),
+            "breakers": {
+                precision: breaker.snapshot()
+                for precision, breaker in sorted(breakers.items())
+            },
+        }
         return snap
 
 

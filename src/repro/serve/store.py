@@ -31,6 +31,7 @@ from ..ioutils import (
     atomic_write_json,
     remove_stale_tmp_files,
 )
+from ..resilience.faults import fault_point
 
 __all__ = ["AdvisorStore", "profile_token", "ADVISOR_SCHEMA"]
 
@@ -82,6 +83,7 @@ class AdvisorStore:
         fingerprint: str,
         token: str,
     ) -> None:
+        fault_point("serve.store.save")
         atomic_write_json(self.path(key), {
             "schema": ADVISOR_SCHEMA,
             "fingerprint": fingerprint,
@@ -95,7 +97,7 @@ class AdvisorStore:
         if not path.exists():
             return None
         try:
-            entry = json.loads(path.read_text())
+            entry = json.loads(fault_point("serve.store.load", path.read_text()))
             if entry["schema"] != ADVISOR_SCHEMA:
                 raise ValueError("schema mismatch")
             if entry["profile_token"] != token:

@@ -17,6 +17,7 @@ from repro.analysis import (
     AtomicWriteRule,
     DeterminismRule,
     EventSchemaRule,
+    FaultSiteRule,
     FloatEqualityRule,
     LintConfig,
     LockDisciplineRule,
@@ -379,6 +380,63 @@ class TestFloatEqualityRule:
                 return beta == 0.0 or beta != 0.0 or n == 3
             """, [self.rule()])
         assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# fault-site
+# --------------------------------------------------------------------------- #
+
+TOY_CATALOG = frozenset({"serve.store.save", "engine.pool.task"})
+
+
+class TestFaultSiteRule:
+    def rule(self):
+        rule = FaultSiteRule({"paths": []})
+        rule.catalog = TOY_CATALOG
+        return rule
+
+    def test_unregistered_site_fires(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            from repro.resilience.faults import fault_point
+
+            def save():
+                fault_point("serve.store.svae")
+            """, [self.rule()])
+        assert rule_ids(findings) == ["fault-site"]
+        assert "serve.store.svae" in findings[0].message
+
+    def test_registered_site_is_silent(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            from repro import resilience
+
+            def save(text):
+                text = resilience.fault_point("serve.store.save", text)
+                resilience.faults.fault_point("engine.pool.task")
+                return text
+            """, [self.rule()])
+        assert findings == []
+
+    def test_missing_site_argument_fires(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def save(fault_point):
+                fault_point()
+            """, [self.rule()])
+        assert rule_ids(findings) == ["fault-site"]
+        assert "without a site" in findings[0].message
+
+    def test_dynamic_site_is_skipped(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            def save(fault_point, site):
+                fault_point(site)
+            """, [self.rule()])
+        assert findings == []
+
+    def test_default_catalog_is_the_real_one(self):
+        from repro.resilience.faults import SITE_CATALOG
+
+        rule = FaultSiteRule({"paths": []})
+        assert rule.catalog == frozenset(SITE_CATALOG)
+        assert "serve.server.request" in rule.catalog
 
 
 # --------------------------------------------------------------------------- #

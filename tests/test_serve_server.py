@@ -1,6 +1,7 @@
 """Tests for the advisor HTTP endpoint (stdlib http.server)."""
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -155,3 +156,70 @@ class TestAdviseEndpoint:
     def test_empty_body_400(self, server):
         status, payload = _post(server, b"")
         assert status == 400
+
+
+def _raw_request(server, request_bytes):
+    """Send raw bytes and return the full response (for broken framing)."""
+    port = server.server_address[1]
+    chunks = []
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(request_bytes)
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+class TestErrorMatrix:
+    """The full error-path contract: every malformed request gets a JSON
+    error with the right status, and the connection survives to serve the
+    next client (see also TestServerChaos in test_resilience.py for the
+    503/504/500 injected-failure statuses)."""
+
+    def test_non_dict_body_400(self, server):
+        status, payload = _post(server, b"[1, 2, 3]")
+        assert status == 400
+        assert "JSON object" in payload["error"]
+
+    def test_unparseable_content_length_400(self, server):
+        response = _raw_request(
+            server,
+            b"POST /advise HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Length: banana\r\n"
+            b"Connection: close\r\n\r\n",
+        )
+        assert response.split(b"\r\n", 1)[0].endswith(b"400 Bad Request")
+        assert b"bad Content-Length" in response
+
+    def test_oversized_declared_body_413_without_reading_it(self, server):
+        # The length check runs before any body read: a 10 GiB claim is
+        # rejected from the header alone.
+        response = _raw_request(
+            server,
+            b"POST /advise HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Length: 10737418240\r\n"
+            b"Connection: close\r\n\r\n",
+        )
+        first_line = response.split(b"\r\n", 1)[0]
+        assert b"413" in first_line
+        assert b"exceeds" in response
+
+    def test_default_body_limit_is_8mib(self):
+        from repro.serve.server import DEFAULT_MAX_BODY_BYTES, MAX_BODY_BYTES
+
+        assert DEFAULT_MAX_BODY_BYTES == 8 * 1024 * 1024
+        assert MAX_BODY_BYTES == DEFAULT_MAX_BODY_BYTES
+
+    def test_server_survives_the_whole_matrix(self, server):
+        for body in (b"", b"{not json", b"[1]", json.dumps({"top": 1}).encode()):
+            status, _ = _post(server, body)
+            assert status == 400
+        status, _ = _post(server, {"suite": "no-such-matrix"})
+        assert status == 400
+        status, payload = _post(server, {"suite": "dense", "top": 1})
+        assert status == 200
+        assert payload["best"]["label"]
