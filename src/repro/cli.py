@@ -14,6 +14,8 @@ Usage::
     python -m repro serve --port 8077             # advisor HTTP service
     python -m repro serve --port 0 --request-timeout 30 --max-inflight 4
     python -m repro serve --fault-plan plan.json  # chaos drill (docs/resilience.md)
+    python -m repro fleet --workers 4 --port 8077 # sharded fleet (docs/serving.md)
+    python -m repro loadtest --mix chaos --seed 7 # deterministic load harness
     python -m repro lint                          # invariant linter (see docs/lint.md)
     python -m repro lint --rule determinism --format json
 
@@ -31,6 +33,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
+from pathlib import Path
 from typing import Sequence
 
 from .bench import experiments
@@ -306,6 +310,29 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         default=".repro_cache",
         help="directory for the recommendation cache",
     )
+    fleet = parser.add_argument_group("fleet")
+    fleet.add_argument(
+        "--profile-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the calibrated-profile store (default: the "
+            "cache dir); fleet workers point this at a shared dir so only "
+            "the first worker pays calibration"
+        ),
+    )
+    fleet.add_argument(
+        "--worker-id", type=int, default=None, metavar="N",
+        help="stamp this id into /stats (set by the fleet supervisor)",
+    )
+    fleet.add_argument(
+        "--warmup",
+        action="store_true",
+        help=(
+            "calibrate in the background on startup; /readyz answers 503 "
+            "until the profile is ready"
+        ),
+    )
     hardening = parser.add_argument_group("hardening")
     hardening.add_argument(
         "--max-inflight", type=int, default=None, metavar="N",
@@ -491,7 +518,14 @@ def _serve_main(argv: Sequence[str]) -> int:
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    service = AdvisorService(cache_dir=args.cache_dir)
+    service_kwargs: dict = {"worker_id": args.worker_id}
+    if args.profile_dir is not None:
+        from .core.profiling import ProfileStore
+
+        service_kwargs["profile_cache"] = ProfileStore(args.profile_dir)
+    service = AdvisorService(cache_dir=args.cache_dir, **service_kwargs)
+    if args.warmup:
+        service.start_warmup()
     kwargs: dict = {}
     if args.max_inflight is not None:
         kwargs["max_inflight"] = args.max_inflight
@@ -518,11 +552,308 @@ def _serve_main(argv: Sequence[str]) -> int:
     host, port = server.server_address[0], server.server_address[1]
     print(
         f"advisor listening on http://{host}:{port}"
-        "  (POST /advise, GET /healthz, /stats)",
+        "  (POST /advise, GET /healthz, /readyz, /stats)",
         flush=True,
     )
     clean = server_mod.run_server(server)
     return 0 if clean else 1
+
+
+def _build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv fleet",
+        description=(
+            "Run a multi-process advisor fleet: N supervised 'repro serve' "
+            "workers behind a content-sharded balancer (docs/serving.md)."
+        ),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes to supervise (default: 2)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8077,
+        help=(
+            "balancer port; 0 picks a free one (printed on startup); "
+            "workers always bind ephemeral ports"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        help=(
+            "cache root; each worker owns <cache-dir>/fleet/worker-<id>/ "
+            "and all share the profile store at <cache-dir>"
+        ),
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="per-worker admission bound (default: the server default of 8)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline forwarded to every worker",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-worker SIGTERM drain budget",
+    )
+    _add_fault_plan_flag(parser)
+    return parser
+
+
+def _fleet_main(argv: Sequence[str]) -> int:
+    import signal
+
+    from .fleet import (
+        BalancerRequestHandler,
+        FleetBalancer,
+        FleetConfig,
+        FleetSupervisor,
+    )
+
+    args = _build_fleet_parser().parse_args(argv)
+    try:
+        config = FleetConfig(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            host=args.host,
+            max_inflight=args.max_inflight,
+            request_timeout_s=args.request_timeout,
+            drain_timeout_s=args.drain_timeout,
+            # Workers re-parse the spec themselves; validate it up front so
+            # a typo fails here, not N times in worker stderr logs.
+            fault_plan=args.fault_plan,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.fault_plan is not None:
+        error = _apply_fault_plan(args.fault_plan)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    supervisor = FleetSupervisor(config)
+    print(
+        f"starting {args.workers} worker(s) "
+        f"(cache root {args.cache_dir})...",
+        flush=True,
+    )
+    try:
+        supervisor.start()
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    balancer = FleetBalancer(
+        (args.host, args.port), BalancerRequestHandler, supervisor
+    )
+    host, port = balancer.server_address[0], balancer.server_address[1]
+    print(
+        f"fleet balancer listening on http://{host}:{port}"
+        f"  ({args.workers} workers; POST /advise, GET /healthz, /readyz, "
+        "/stats)",
+        flush=True,
+    )
+
+    stop = threading.Event()
+    installed: dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+        def _request_stop(signum, frame):  # noqa: ARG001 - signal signature
+            stop.set()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            installed[sig] = signal.signal(sig, _request_stop)
+    loop = threading.Thread(target=balancer.serve_forever, daemon=True)
+    loop.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        balancer.shutdown()
+        balancer.server_close()
+        loop.join(timeout=5)
+        clean = supervisor.shutdown()
+        for sig, old in installed.items():
+            signal.signal(sig, old)
+    return 0 if clean else 1
+
+
+def _build_loadtest_parser() -> argparse.ArgumentParser:
+    from .fleet.replay import DEFAULT_MATRICES, MIXES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv loadtest",
+        description=(
+            "Replay a deterministic traffic mix against a freshly spawned "
+            "fleet and print the benchmark table (docs/serving.md)."
+        ),
+    )
+    parser.add_argument(
+        "--mix", choices=MIXES, default="steady",
+        help="traffic shape (default: steady)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1337,
+        help="replay seed; equal seeds give byte-identical request "
+        "sequences (default: 1337)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=60, metavar="N",
+        help="requests to replay (default: 60)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent closed-loop clients (default: 4)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="fleet size (default: 2)",
+    )
+    parser.add_argument(
+        "--matrices", default=",".join(DEFAULT_MATRICES), metavar="NAMES",
+        help=(
+            "comma-separated suite entry names to draw requests from "
+            f"(default: {','.join(DEFAULT_MATRICES)})"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        help="cache root for the spawned fleet",
+    )
+    parser.add_argument(
+        "--single",
+        action="store_true",
+        help=(
+            "drive one worker directly instead of a balanced fleet "
+            "(the single-process baseline; ignores --workers)"
+        ),
+    )
+    parser.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip the serial cache-warming pass before the measured run",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the table as JSON to this path",
+    )
+    return parser
+
+
+def _loadtest_main(argv: Sequence[str]) -> int:
+    import json as _json
+
+    from .fleet import (
+        BalancerRequestHandler,
+        FleetBalancer,
+        FleetConfig,
+        FleetSupervisor,
+        WorkerProcess,
+        build_plan,
+        run_load,
+        warm_fleet,
+    )
+
+    args = _build_loadtest_parser().parse_args(argv)
+    matrices = tuple(s for s in args.matrices.split(",") if s)
+    try:
+        plan = build_plan(args.mix, args.seed, args.requests, matrices)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    fault_plan = (
+        _json.dumps(plan.fault_plan) if plan.fault_plan is not None else None
+    )
+    # Chaos budget: shed (503) and deadline (504) are documented, anything
+    # else — connection resets included — is a violation.
+    allowed = (200, 503, 504) if args.mix == "chaos" else (200,)
+
+    supervisor = None
+    balancer = None
+    single = None
+    loop = None
+    try:
+        if args.single:
+            single = WorkerProcess(
+                0, cache_dir=args.cache_dir, fault_plan=fault_plan
+            )
+            single.spawn()
+            if not single.wait_ready(300.0):
+                print("error: worker never became ready", file=sys.stderr)
+                return 1
+            base_url = single.base_url
+            on_midpoint = None
+            workers = 1
+        else:
+            config = FleetConfig(
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                fault_plan=fault_plan,
+            )
+            supervisor = FleetSupervisor(config)
+            supervisor.start()
+            balancer = FleetBalancer(
+                ("127.0.0.1", 0), BalancerRequestHandler, supervisor
+            )
+            loop = threading.Thread(
+                target=balancer.serve_forever, daemon=True
+            )
+            loop.start()
+            host, port = balancer.server_address[:2]
+            base_url = f"http://{host}:{port}"
+            workers = args.workers
+            victim = args.seed % args.workers
+            sup = supervisor
+
+            def on_midpoint() -> None:
+                sup.kill_worker(victim)
+            if plan.kill_worker_at is None:
+                on_midpoint = None
+        print(
+            f"loadtest: mix={plan.mix} seed={plan.seed} "
+            f"requests={len(plan.requests)} clients={args.clients} "
+            f"workers={workers} target={base_url}",
+            file=sys.stderr,
+            flush=True,
+        )
+        if not args.no_warm:
+            warm_fleet(base_url, plan)
+        table = run_load(
+            base_url,
+            plan,
+            clients=args.clients,
+            allowed_statuses=allowed,
+            on_midpoint=on_midpoint,
+        )
+        table["workers"] = workers
+        table["single"] = bool(args.single)
+    finally:
+        if balancer is not None:
+            balancer.shutdown()
+            balancer.server_close()
+            if loop is not None:
+                loop.join(timeout=5)
+        if supervisor is not None:
+            supervisor.shutdown()
+        if single is not None:
+            single.stop()
+    print(_json.dumps(table, indent=2))
+    if args.output is not None:
+        Path(args.output).write_text(
+            _json.dumps(table, indent=2) + "\n", encoding="utf-8"
+        )
+    if table["violations"]:
+        print(
+            f"error: {len(table['violations'])} request(s) outside the "
+            f"status budget {sorted(allowed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -531,6 +862,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _advise_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        return _fleet_main(argv[1:])
+    if argv and argv[0] == "loadtest":
+        return _loadtest_main(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
     args = _build_parser().parse_args(argv)

@@ -38,7 +38,10 @@ The resilience layer (:mod:`repro.resilience`) adds ``fault_injected``,
 ``breaker_open`` / ``breaker_close``, ``request_shed``,
 ``request_deadline_exceeded`` and ``drain_begin`` / ``drain_end``; their
 fields are declared in :data:`EVENT_SCHEMAS` below and documented in
-``docs/resilience.md``.
+``docs/resilience.md``.  The fleet layer (:mod:`repro.fleet`) adds
+``worker_spawn`` / ``worker_ready`` / ``worker_restart``,
+``fleet_drain_begin`` / ``fleet_drain_end`` and ``request_routed``
+(documented in ``docs/serving.md``).
 
 The same schema is declared machine-readably in :data:`EVENT_SCHEMAS`,
 which the ``event-schema`` lint rule (:mod:`repro.analysis`) checks every
@@ -100,6 +103,15 @@ EVENT_SCHEMAS: dict[str, frozenset[str]] = {
     "request_deadline_exceeded": frozenset({"timeout_s", "elapsed_s"}),
     "drain_begin": frozenset({"inflight"}),
     "drain_end": frozenset({"inflight", "elapsed_s", "clean"}),
+    # Fleet events (repro.fleet; see docs/serving.md).
+    "worker_spawn": frozenset({"worker_id", "pid", "port"}),
+    "worker_ready": frozenset({"worker_id", "port", "elapsed_s"}),
+    "worker_restart": frozenset(
+        {"worker_id", "restarts", "backoff_s", "reason"}
+    ),
+    "fleet_drain_begin": frozenset({"workers"}),
+    "fleet_drain_end": frozenset({"workers", "clean", "elapsed_s"}),
+    "request_routed": frozenset({"shard", "worker_id", "attempt"}),
 }
 
 

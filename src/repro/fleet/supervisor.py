@@ -1,0 +1,371 @@
+"""Fleet supervision: spawn, crash-restart, warm handoff, drain.
+
+The :class:`FleetSupervisor` owns N worker slots.  Each slot holds the
+*current* :class:`~repro.fleet.worker.WorkerProcess` for one shard; the
+balancer routes through the slot, so swapping the process behind a slot
+(restart, warm handoff) is invisible to clients beyond a transient retry.
+
+Guarantees:
+
+* **crash-restart with backoff** — a monitor thread notices a dead worker
+  and respawns it after an exponential backoff (0.5 s doubling, capped at
+  5 s), emitting ``worker_restart``; the slot routes as *down* meanwhile,
+  so the balancer retries its shard on the next worker;
+* **warm-replica handoff** — :meth:`FleetSupervisor.replace_worker` spawns
+  the replacement first, waits for its ``/readyz`` 200, atomically swaps
+  it into the slot, and only then SIGTERMs the predecessor (which finishes
+  its in-flight requests under PR 5's drain machinery).  At no point is
+  the shard unowned;
+* **graceful fleet shutdown** — :meth:`FleetSupervisor.shutdown` stops the
+  monitor, SIGTERMs every worker concurrently, waits out their drains and
+  escalates to SIGKILL only past the deadline
+  (``fleet_drain_begin`` / ``fleet_drain_end`` events).
+
+Every lifecycle step is emitted on the supervisor's
+:class:`~repro.engine.events.EventBus` (``worker_spawn``, ``worker_ready``,
+``worker_restart``, ``fleet_drain_begin/end``), so a fleet run's exact
+history lands in the same JSONL run logs the sweep engine uses.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..engine.events import EventBus
+from .worker import DEFAULT_READY_TIMEOUT_S, WorkerProcess
+
+__all__ = ["FleetConfig", "WorkerSlot", "FleetSupervisor"]
+
+logger = logging.getLogger(__name__)
+
+#: First restart backoff; doubles per consecutive restart of the slot.
+RESTART_BACKOFF_S = 0.5
+#: Ceiling on the restart backoff.
+MAX_BACKOFF_S = 5.0
+#: Monitor poll interval.
+MONITOR_POLL_S = 0.2
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything a fleet spawn needs (one object, CLI-mappable)."""
+
+    workers: int = 2
+    cache_dir: str | Path = ".repro_cache"
+    host: str = "127.0.0.1"
+    #: Per-worker admission bound (None = the server default of 8).
+    max_inflight: int | None = None
+    #: Per-request deadline forwarded to every worker.
+    request_timeout_s: float | None = None
+    #: Per-worker SIGTERM drain budget.
+    drain_timeout_s: float | None = None
+    #: Chaos plan spec (inline JSON or path) forwarded to every worker.
+    fault_plan: str | None = None
+    #: How long one worker may take from spawn to ready.
+    ready_timeout_s: float = DEFAULT_READY_TIMEOUT_S
+    #: Whole-fleet drain budget on shutdown.
+    fleet_drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass
+class WorkerSlot:
+    """One shard's mount point: the current process plus routing state."""
+
+    index: int
+    worker: WorkerProcess | None = None
+    ready: bool = False
+    restarts: int = 0
+    #: Guards ``worker``/``ready``/``restarts`` — the balancer reads them
+    #: from request threads while the monitor swaps processes.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            worker = self.worker
+            return {
+                "worker_id": self.index,
+                "ready": self.ready,
+                "restarts": self.restarts,
+                "pid": worker.pid if worker is not None else None,
+                "port": worker.port if worker is not None else None,
+            }
+
+    def route_target(self) -> str | None:
+        """The worker's base URL if the slot is routable, else ``None``."""
+        with self.lock:
+            if self.ready and self.worker is not None:
+                return self.worker.base_url
+            return None
+
+    def mark_down(self) -> None:
+        """Balancer feedback: a proxied request hit a dead socket."""
+        with self.lock:
+            self.ready = False
+
+
+class FleetSupervisor:
+    """Owns the worker slots; keeps every shard served."""
+
+    def __init__(
+        self, config: FleetConfig, *, bus: EventBus | None = None
+    ) -> None:
+        self.config = config
+        self.bus = bus if bus is not None else EventBus()
+        self.slots = tuple(
+            WorkerSlot(index=i) for i in range(config.workers)
+        )
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        # Slots currently being restarted/replaced, so the monitor never
+        # doubles up on one slot (guarded by _restart_lock).
+        self._restart_lock = threading.Lock()
+        self._restarting: set[int] = set()
+
+    # ------------------------------ spawn -------------------------------- #
+    def _new_worker(self, index: int) -> WorkerProcess:
+        cfg = self.config
+        return WorkerProcess(
+            index,
+            cache_dir=cfg.cache_dir,
+            profile_dir=Path(cfg.cache_dir),
+            host=cfg.host,
+            max_inflight=cfg.max_inflight,
+            request_timeout_s=cfg.request_timeout_s,
+            drain_timeout_s=cfg.drain_timeout_s,
+            fault_plan=cfg.fault_plan,
+        )
+
+    def _spawn_into_slot(self, slot: WorkerSlot) -> None:
+        """Spawn a fresh worker, wait for readiness, mount it."""
+        t0 = time.monotonic()
+        worker = self._new_worker(slot.index)
+        port = worker.spawn()
+        self.bus.emit(
+            "worker_spawn",
+            worker_id=slot.index,
+            pid=worker.pid,
+            port=port,
+        )
+        if not worker.wait_ready(self.config.ready_timeout_s):
+            worker.stop(timeout_s=2.0)
+            raise RuntimeError(
+                f"worker {slot.index} failed to report ready within "
+                f"{self.config.ready_timeout_s:.0f}s"
+            )
+        with slot.lock:
+            slot.worker = worker
+            slot.ready = True
+        self.bus.emit(
+            "worker_ready",
+            worker_id=slot.index,
+            port=port,
+            elapsed_s=round(time.monotonic() - t0, 3),
+        )
+
+    def start(self) -> None:
+        """Spawn every worker (concurrently), then start the monitor."""
+        errors: list[BaseException] = []
+
+        def spawn_one(slot: WorkerSlot) -> None:
+            try:
+                self._spawn_into_slot(slot)
+            except BaseException as exc:  # noqa: BLE001 - collected below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=spawn_one, args=(slot,), daemon=True)
+            for slot in self.slots
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            self.shutdown()
+            raise RuntimeError(
+                f"fleet startup failed: {errors[0]}"
+            ) from errors[0]
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    # ------------------------------ monitor ------------------------------ #
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(MONITOR_POLL_S):
+            for slot in self.slots:
+                with slot.lock:
+                    worker = slot.worker
+                crashed = worker is not None and worker.poll() is not None
+                if crashed and not self._stop.is_set():
+                    self._begin_restart(slot, worker)
+
+    def _begin_restart(
+        self, slot: WorkerSlot, dead: WorkerProcess
+    ) -> None:
+        with self._restart_lock:
+            if slot.index in self._restarting:
+                return
+            self._restarting.add(slot.index)
+        with slot.lock:
+            if slot.worker is not dead:  # already swapped by a handoff
+                with self._restart_lock:
+                    self._restarting.discard(slot.index)
+                return
+            slot.ready = False
+            slot.restarts += 1
+            restarts = slot.restarts
+        rc = dead.poll()
+        dead.close()
+        backoff = min(
+            RESTART_BACKOFF_S * (2 ** (restarts - 1)), MAX_BACKOFF_S
+        )
+        self.bus.emit(
+            "worker_restart",
+            worker_id=slot.index,
+            restarts=restarts,
+            backoff_s=round(backoff, 3),
+            reason=f"exit status {rc}",
+        )
+        thread = threading.Thread(
+            target=self._restart_after,
+            args=(slot, backoff),
+            name=f"fleet-restart-{slot.index}",
+            daemon=True,
+        )
+        thread.start()
+
+    def _restart_after(self, slot: WorkerSlot, backoff_s: float) -> None:
+        try:
+            if self._stop.wait(backoff_s):
+                return
+            try:
+                self._spawn_into_slot(slot)
+            except Exception as exc:  # noqa: BLE001 - retried by monitor
+                # Leave the slot down; the next monitor pass sees the dead
+                # (or never-mounted) worker and schedules another attempt
+                # with a longer backoff.
+                logger.warning(
+                    "restart of worker %d failed (%s: %s); will retry",
+                    slot.index, type(exc).__name__, exc,
+                )
+        finally:
+            with self._restart_lock:
+                self._restarting.discard(slot.index)
+
+    # --------------------------- warm handoff ---------------------------- #
+    def replace_worker(self, index: int) -> None:
+        """Warm-replica handoff: ready replacement first, then drain.
+
+        The shard keeps a live owner throughout: the predecessor serves
+        until the replacement's ``/readyz`` reports 200 and the slot swap
+        has happened; only then does it get SIGTERM and drain.
+        """
+        slot = self.slots[index]
+        with self._restart_lock:
+            if index in self._restarting:
+                raise RuntimeError(
+                    f"worker {index} is already being restarted"
+                )
+            self._restarting.add(index)
+        try:
+            replacement = self._new_worker(index)
+            port = replacement.spawn()
+            self.bus.emit(
+                "worker_spawn",
+                worker_id=index,
+                pid=replacement.pid,
+                port=port,
+            )
+            t0 = time.monotonic()
+            if not replacement.wait_ready(self.config.ready_timeout_s):
+                replacement.stop(timeout_s=2.0)
+                raise RuntimeError(
+                    f"replacement for worker {index} never became ready"
+                )
+            with slot.lock:
+                old = slot.worker
+                slot.worker = replacement
+                slot.ready = True
+            self.bus.emit(
+                "worker_ready",
+                worker_id=index,
+                port=port,
+                elapsed_s=round(time.monotonic() - t0, 3),
+            )
+            if old is not None:
+                old.stop(
+                    timeout_s=self.config.fleet_drain_timeout_s
+                )
+        finally:
+            with self._restart_lock:
+                self._restarting.discard(index)
+
+    def rolling_restart(self) -> None:
+        """Replace every worker, one warm handoff at a time."""
+        for slot in self.slots:
+            self.replace_worker(slot.index)
+
+    # ------------------------------ chaos -------------------------------- #
+    def kill_worker(self, index: int) -> int | None:
+        """SIGKILL one worker (chaos drills); the monitor restarts it."""
+        slot = self.slots[index]
+        with slot.lock:
+            worker = slot.worker
+        if worker is None:
+            return None
+        worker.kill()
+        return worker.wait(5.0)
+
+    # ----------------------------- shutdown ------------------------------ #
+    def shutdown(self) -> bool:
+        """Drain and stop the whole fleet; True when every exit was clean."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        self.bus.emit("fleet_drain_begin", workers=len(self.slots))
+        t0 = time.monotonic()
+        workers: list[WorkerProcess] = []
+        for slot in self.slots:
+            with slot.lock:
+                slot.ready = False
+                if slot.worker is not None:
+                    workers.append(slot.worker)
+        for worker in workers:
+            worker.terminate()
+        deadline = t0 + self.config.fleet_drain_timeout_s
+        clean = True
+        for worker in workers:
+            rc = worker.wait(max(0.0, deadline - time.monotonic()))
+            if rc is None:
+                worker.kill()
+                worker.wait(5.0)
+                clean = False
+            elif rc != 0:
+                clean = False
+            worker.close()
+        self.bus.emit(
+            "fleet_drain_end",
+            workers=len(workers),
+            clean=clean,
+            elapsed_s=round(time.monotonic() - t0, 3),
+        )
+        return clean
+
+    # ------------------------------ status ------------------------------- #
+    def snapshot(self) -> list[dict]:
+        return [slot.snapshot() for slot in self.slots]
+
+    def all_ready(self) -> bool:
+        return all(
+            slot.route_target() is not None for slot in self.slots
+        )

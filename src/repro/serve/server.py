@@ -8,6 +8,9 @@ A deliberately small ``http.server`` wrapper — no third-party web framework
   ``precision``, ``nthreads``, ``prune``, ``top``, ``timeout_s``; answers
   with the ranked recommendation as JSON;
 * ``GET /healthz`` — liveness probe (reports draining state);
+* ``GET /readyz`` — readiness probe: 503 while draining or before a
+  requested profile warmup completes, 200 otherwise (the fleet
+  balancer's per-worker health check, see ``docs/serving.md``);
 * ``GET /stats`` — the service counters plus the resilience section
   (event tallies, per-precision breaker states).
 
@@ -218,6 +221,16 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
                 200,
                 {"status": "draining" if draining else "ok"},
             )
+        elif self.path == "/readyz":
+            # Readiness, distinct from liveness: a draining or still-warming
+            # server is alive (healthz 200) but must not receive new
+            # traffic — the fleet balancer's health probe keys off this.
+            if self.server.draining:  # type: ignore[attr-defined]
+                self._send_json(503, {"status": "draining"})
+            elif not self.service.warmed_up:
+                self._send_json(503, {"status": "warming"})
+            else:
+                self._send_json(200, {"status": "ready"})
         elif self.path == "/stats":
             self._send_json(200, self.service.stats())
         else:
@@ -447,7 +460,8 @@ def serve_forever(
     server = create_server(service, host, port, **server_kwargs)
     addr = f"http://{server.server_address[0]}:{server.server_address[1]}"
     print(
-        f"advisor listening on {addr}  (POST /advise, GET /healthz, /stats)",
+        f"advisor listening on {addr}"
+        "  (POST /advise, GET /healthz, /readyz, /stats)",
         flush=True,
     )
     return run_server(server)

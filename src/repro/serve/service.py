@@ -268,6 +268,7 @@ class AdvisorService:
         prune_config: PruneConfig | None = None,
         breaker_config: BreakerConfig | None = None,
         reporters: tuple | list = (),
+        worker_id: int | None = None,
     ) -> None:
         self.machine = (
             machine if machine is not None else get_preset(DEFAULT_MACHINE)
@@ -285,8 +286,17 @@ class AdvisorService:
             prune_config if prune_config is not None else PruneConfig()
         )
         self.store = AdvisorStore(cache_dir) if cache_dir is not None else None
+        #: Identifies this service in a fleet's aggregated ``/stats`` view
+        #: (``None`` for a standalone server).
+        self.worker_id = worker_id
         self._profile_lock = threading.Lock()
         self._tokens: dict[Precision, str] = {}
+        # Warmup/readiness: the event is *set* when the service is ready to
+        # take traffic.  With no warmup requested the service is born ready;
+        # ``start_warmup``/``warmup`` clear it until calibration completes,
+        # which ``GET /readyz`` surfaces as a 503.
+        self._warmup_done = threading.Event()
+        self._warmup_done.set()
         self._stats_lock = threading.Lock()
         self._counters = {
             "requests": 0,
@@ -336,6 +346,41 @@ class AdvisorService:
                 token = profile_token(profile)
                 self._tokens[precision] = token
         return profile, token
+
+    # ------------------------------ warmup ------------------------------ #
+    def warmup(self, precisions: Sequence[Precision | str] = ("dp",)) -> None:
+        """Calibrate (or disk-load) the profile for each precision now.
+
+        The service reports not-ready (``warmed_up`` False, ``/readyz``
+        503) until the pass completes, so a fleet balancer never routes to
+        a worker that would stall its first requests on the multi-second
+        calibration.
+        """
+        self._warmup_done.clear()
+        try:
+            for precision in precisions:
+                self._profile_and_token(Precision.coerce(precision))
+        finally:
+            self._warmup_done.set()
+
+    def start_warmup(
+        self, precisions: Sequence[Precision | str] = ("dp",)
+    ) -> threading.Thread:
+        """Run :meth:`warmup` on a background thread (returns it)."""
+        self._warmup_done.clear()
+        thread = threading.Thread(
+            target=self.warmup,
+            args=(tuple(precisions),),
+            name="advisor-warmup",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    @property
+    def warmed_up(self) -> bool:
+        """True unless a requested warmup is still running."""
+        return self._warmup_done.is_set()
 
     # ------------------------------ advise ----------------------------- #
     def advise(
@@ -581,6 +626,7 @@ class AdvisorService:
                 self._latency_total_s / total if total else 0.0
             )
         snap["machine"] = self.machine.name
+        snap["worker_id"] = self.worker_id
         snap["cache_entries"] = (
             self.store.entry_count() if self.store is not None else 0
         )

@@ -1,0 +1,340 @@
+"""Tests for repro.fleet: replay determinism, sharded routing, stats
+fan-in, and the live multi-process fleet (supervisor + balancer)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.fleet import (
+    BalancerRequestHandler,
+    FleetBalancer,
+    FleetConfig,
+    FleetSupervisor,
+    build_plan,
+    merge_stats,
+    percentile,
+    routing_fingerprint,
+    run_load,
+    shard_for,
+)
+from repro.fleet.replay import CHAOS_FAULT_PLAN, DEFAULT_MATRICES
+from repro.types import Precision
+
+
+@pytest.fixture(scope="session")
+def profile_root(tmp_path_factory, machine, profile_dp):
+    """A profile store pre-seeded on disk with the session dp profile.
+
+    Fleet workers point ``--profile-dir`` here and warm-start from disk
+    instead of each paying the multi-second calibration.
+    """
+    from repro.core.profiling import (
+        PROFILE_SCHEMA,
+        ProfileStore,
+        profile_to_payload,
+    )
+    from repro.ioutils import atomic_write_json
+
+    root = tmp_path_factory.mktemp("fleet-profiles")
+    store = ProfileStore(root)
+    atomic_write_json(
+        store.path(machine, Precision.DP, False),
+        {
+            "schema": PROFILE_SCHEMA,
+            "machine": machine.name,
+            "profile": profile_to_payload(profile_dp),
+        },
+    )
+    return root
+
+
+class TestReplayDeterminism:
+    @pytest.mark.parametrize("mix", ["steady", "skew", "flood", "chaos"])
+    def test_same_seed_byte_identical(self, mix):
+        a = build_plan(mix, 42, 80)
+        b = build_plan(mix, 42, 80)
+        assert a.canonical_json() == b.canonical_json()
+        assert a.sequence_sha() == b.sequence_sha()
+        assert [r.suite for r in a.requests] == [
+            r.suite for r in b.requests
+        ]
+
+    def test_different_seed_different_sequence(self):
+        assert (
+            build_plan("steady", 1, 80).sequence_sha()
+            != build_plan("steady", 2, 80).sequence_sha()
+        )
+
+    def test_different_mix_different_sequence(self):
+        assert (
+            build_plan("steady", 7, 80).sequence_sha()
+            != build_plan("skew", 7, 80).sequence_sha()
+        )
+
+    def test_plan_shape(self):
+        plan = build_plan("steady", 3, 17)
+        assert len(plan.requests) == 17
+        assert plan.matrices == DEFAULT_MATRICES
+        assert all(r.suite in DEFAULT_MATRICES for r in plan.requests)
+        assert plan.fault_plan is None and plan.kill_worker_at is None
+
+    def test_skew_concentrates_traffic(self):
+        plan = build_plan("skew", 5, 300)
+        counts = {}
+        for r in plan.requests:
+            counts[r.suite] = counts.get(r.suite, 0) + 1
+        top = max(counts.values())
+        assert top > 300 / len(plan.matrices)  # hotter than uniform
+
+    def test_flood_cycles_all_matrices(self):
+        plan = build_plan("flood", 5, 9, ("dense", "pwtk", "stomach"))
+        # Every consecutive window of 3 touches all 3 matrices.
+        for start in (0, 3, 6):
+            window = {r.suite for r in plan.requests[start:start + 3]}
+            assert window == {"dense", "pwtk", "stomach"}
+
+    def test_chaos_carries_fault_plan_and_kill(self):
+        plan = build_plan("chaos", 11, 20)
+        assert plan.fault_plan == CHAOS_FAULT_PLAN
+        assert plan.kill_worker_at == 0.5
+        # The canonical form covers the chaos script too.
+        assert "kill_worker_at" in plan.canonical_json()
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="unknown mix"):
+            build_plan("bursty", 1, 10)
+
+    def test_unknown_matrix_rejected_up_front(self):
+        with pytest.raises(KeyError):
+            build_plan("steady", 1, 10, ("no-such-matrix",))
+
+
+class TestRouting:
+    def test_fingerprint_is_stable_and_normalised(self):
+        fp = routing_fingerprint({"suite": "pwtk"})
+        assert fp == routing_fingerprint({"suite": " PWTK "})
+        assert fp == routing_fingerprint({"suite": "pwtk", "top": 3})
+        assert fp != routing_fingerprint({"suite": "dense"})
+
+    def test_matrix_market_and_suite_hash_apart(self):
+        assert routing_fingerprint(
+            {"matrix_market": "pwtk"}
+        ) != routing_fingerprint({"suite": "pwtk"})
+
+    def test_unroutable_bodies(self):
+        assert routing_fingerprint({}) is None
+        assert routing_fingerprint({"matrix_market": 42}) is None
+
+    def test_shard_partition_is_disjoint_and_total(self):
+        # Every request maps to exactly one shard, and the mapping only
+        # depends on the fingerprint: this is the disjoint-cache property.
+        for n in (1, 2, 3, 4, 7):
+            for name in DEFAULT_MATRICES:
+                fp = routing_fingerprint({"suite": name})
+                shards = {shard_for(fp, n) for _ in range(5)}
+                assert len(shards) == 1
+                assert 0 <= shards.pop() < n
+
+
+class TestMergeStats:
+    def test_counters_sum_and_latency_weights(self):
+        merged = merge_stats([
+            {"requests": 10, "cache_hits": 4, "cache_misses": 6,
+             "errors": 1, "timeouts": 0, "batches": 0, "degraded": 0,
+             "cache_entries": 6, "mean_latency_s": 0.1, "machine": "m",
+             "resilience": {"events": {"request_shed": 1},
+                            "breakers": {}}},
+            {"requests": 30, "cache_hits": 20, "cache_misses": 10,
+             "errors": 0, "timeouts": 2, "batches": 0, "degraded": 1,
+             "cache_entries": 10, "mean_latency_s": 0.3, "machine": "m",
+             "resilience": {"events": {"request_shed": 2},
+                            "breakers": {}}},
+        ])
+        assert merged["requests"] == 40
+        assert merged["cache_hits"] == 24
+        assert merged["timeouts"] == 2
+        assert merged["cache_entries"] == 16
+        assert merged["mean_latency_s"] == pytest.approx(0.25)
+        assert merged["machine"] == "m"
+        assert merged["resilience"]["events"]["request_shed"] == 3
+
+    def test_breakers_take_worst_state(self):
+        closed = {"state": "closed", "consecutive_failures": 0}
+        open_ = {"state": "open", "consecutive_failures": 5}
+        half = {"state": "half_open", "consecutive_failures": 2}
+        merged = merge_stats([
+            {"requests": 1, "resilience": {"events": {},
+                                           "breakers": {"dp": open_}}},
+            {"requests": 1, "resilience": {"events": {},
+                                           "breakers": {"dp": closed,
+                                                        "sp": half}}},
+        ])
+        assert merged["resilience"]["breakers"]["dp"]["state"] == "open"
+        assert (
+            merged["resilience"]["breakers"]["dp"]["consecutive_failures"]
+            == 5
+        )
+        assert merged["resilience"]["breakers"]["sp"]["state"] == "half_open"
+
+    def test_empty_fleet(self):
+        merged = merge_stats([])
+        assert merged["requests"] == 0
+        assert merged["mean_latency_s"] == 0.0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 11)]
+        assert percentile(values, 50.0) == 5.0
+        assert percentile(values, 95.0) == 10.0
+        assert percentile(values, 100.0) == 10.0
+        assert percentile([], 50.0) == 0.0
+        assert percentile([3.0], 99.0) == 3.0
+
+
+class _StubAdviseHandler(BaseHTTPRequestHandler):
+    """Answers every /advise with a canned 200 (no model evaluation)."""
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        length = int(self.headers.get("Content-Length", 0))
+        body = json.loads(self.rfile.read(length))
+        payload = json.dumps({"echo": body.get("suite")}).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture()
+def stub_server():
+    srv = ThreadingHTTPServer(("127.0.0.1", 0), _StubAdviseHandler)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{srv.server_address[1]}"
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+class TestLoadgenTables:
+    def test_deterministic_fields_stable_across_runs(self, stub_server):
+        plan = build_plan("skew", 9, 25)
+        tables = [
+            run_load(stub_server, plan, clients=3) for _ in range(2)
+        ]
+        for table in tables:
+            table.pop("timing")  # wall-clock: excluded from the contract
+        assert tables[0] == tables[1]
+        assert tables[0]["statuses"] == {"200": 25}
+        assert tables[0]["violations"] == []
+        assert tables[0]["sequence_sha256"] == plan.sequence_sha()
+
+    def test_status_budget_violations_recorded(self, stub_server):
+        plan = build_plan("steady", 9, 5)
+        table = run_load(
+            stub_server, plan, clients=2, allowed_statuses=(418,)
+        )
+        assert len(table["violations"]) == 5
+
+    def test_midpoint_hook_fires_exactly_once(self, stub_server):
+        plan = build_plan("steady", 9, 20)
+        fired = []
+        run_load(
+            stub_server, plan, clients=4,
+            on_midpoint=lambda: fired.append(1),
+        )
+        assert len(fired) == 1
+
+
+@pytest.mark.slow
+class TestLiveFleet:
+    """End-to-end: real worker subprocesses behind the real balancer."""
+
+    @pytest.fixture()
+    def fleet(self, tmp_path, profile_root):
+        config = FleetConfig(
+            workers=2, cache_dir=tmp_path / "cache"
+        )
+        supervisor = FleetSupervisor(config)
+        # Workers share the pre-seeded session profile store.
+        supervisor._new_worker = lambda index: self_worker(
+            index, config, profile_root
+        )
+        supervisor.start()
+        balancer = FleetBalancer(
+            ("127.0.0.1", 0), BalancerRequestHandler, supervisor
+        )
+        loop = threading.Thread(target=balancer.serve_forever, daemon=True)
+        loop.start()
+        base_url = f"http://127.0.0.1:{balancer.server_address[1]}"
+        yield supervisor, base_url
+        balancer.shutdown()
+        balancer.server_close()
+        loop.join(timeout=5)
+        supervisor.shutdown()
+
+    def test_steady_mix_all_200_and_fanin(self, fleet):
+        supervisor, base_url = fleet
+        plan = build_plan("steady", 21, 10, ("dense", "pwtk"))
+        table = run_load(base_url, plan, clients=2)
+        assert table["statuses"] == {"200": 10}
+        assert table["violations"] == []
+
+        with urllib.request.urlopen(f"{base_url}/stats", timeout=30) as r:
+            stats = json.loads(r.read())
+        assert stats["requests"] == 10
+        assert stats["fleet"]["size"] == 2
+        assert stats["fleet"]["reachable"] == 2
+        ids = {w["worker_id"] for w in stats["workers"]}
+        assert ids == {0, 1}
+        # Sharding keeps the cache partitions disjoint: fleet-wide hits
+        # and misses still account for every request.
+        assert stats["cache_hits"] + stats["cache_misses"] == 10
+
+        with urllib.request.urlopen(f"{base_url}/readyz", timeout=30) as r:
+            assert r.status == 200
+
+    def test_kill_worker_mid_mix_zero_failures(self, fleet):
+        supervisor, base_url = fleet
+        plan = build_plan("steady", 33, 16, ("dense", "pwtk"))
+        events = []
+
+        class _Recorder:
+            def handle(self, event):
+                events.append(event["event"])
+
+        supervisor.bus.subscribe(_Recorder())
+        table = run_load(
+            base_url, plan, clients=2,
+            on_midpoint=lambda: supervisor.kill_worker(0),
+        )
+        # The shard failover absorbs the SIGKILL: every request still 200.
+        assert table["violations"] == []
+        assert table["statuses"] == {"200": 16}
+        deadline = threading.Event()
+        for _ in range(100):  # wait for the supervised restart
+            if supervisor.all_ready():
+                break
+            deadline.wait(0.2)
+        assert "worker_restart" in events
+
+
+def self_worker(index, config, profile_root):
+    """A fleet worker whose profile store is the pre-seeded session one."""
+    from repro.fleet import WorkerProcess
+
+    return WorkerProcess(
+        index,
+        cache_dir=config.cache_dir,
+        profile_dir=profile_root,
+        host=config.host,
+    )

@@ -85,6 +85,61 @@ class TestEndpoints:
         ):
             assert key in stats
 
+    def test_stats_carries_worker_id(self, server):
+        # Standalone servers report no worker id; fleet workers stamp
+        # theirs so the balancer's fan-in can attribute each snapshot.
+        _, stats = _get(server, "/stats")
+        assert stats["worker_id"] is None
+
+
+class TestReadyz:
+    def test_ready_200(self, server):
+        status, payload = _get(server, "/readyz")
+        assert status == 200
+        assert payload == {"status": "ready"}
+
+    def test_draining_503(self, server):
+        with server._state_lock:
+            server._draining = True
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/readyz")
+        assert err.value.code == 503
+        assert json.loads(err.value.read())["status"] == "draining"
+        # Liveness stays green while readiness is red.
+        status, _ = _get(server, "/healthz")
+        assert status == 200
+
+    def test_warming_503_until_warmup_completes(self, server):
+        server.service._warmup_done.clear()
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/readyz")
+        assert err.value.code == 503
+        assert json.loads(err.value.read())["status"] == "warming"
+        server.service._warmup_done.set()
+        status, _ = _get(server, "/readyz")
+        assert status == 200
+
+    def test_warmup_pass_flips_readiness(
+        self, machine, shared_profile_cache, tmp_path
+    ):
+        service = AdvisorService(
+            machine, cache_dir=tmp_path, profile_cache=shared_profile_cache
+        )
+        assert service.warmed_up  # born ready with no warmup requested
+        service.warmup()  # profile already cached: completes immediately
+        assert service.warmed_up
+
+    def test_worker_id_in_service_stats(
+        self, machine, shared_profile_cache, tmp_path
+    ):
+        service = AdvisorService(
+            machine,
+            cache_dir=tmp_path,
+            profile_cache=shared_profile_cache,
+            worker_id=3,
+        )
+        assert service.stats()["worker_id"] == 3
+
 
 class TestAdviseEndpoint:
     def test_concurrent_posts_then_cache_hit(self, server):
