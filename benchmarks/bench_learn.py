@@ -1,0 +1,313 @@
+"""Online-learning overhead and holdout-agreement benchmark.
+
+Two questions, answered against in-process :class:`AdvisorService`
+instances sharing one calibrated profile:
+
+* **overhead** — what does ``--learn`` cost on the steady-state hot path
+  (cache-hit requests, which additionally pay the serving-mode decision,
+  the shadow prediction and the trace append)?  Measured as the p95
+  advise latency with learning on vs off over identical seeded traffic;
+  the acceptance bar is **<= 10% p95 overhead**.
+* **agreement** — after training on seeded traffic, how often does the
+  learned tree's shadow prediction match the OVERLAP model's choice on a
+  *held-out* matrix set it never trained on?  Selection agreement (not
+  timing) is the deterministic half of the output: the calibration, the
+  traffic and the tree fit are all seeded/deterministic, so the model
+  version and the agreement table are stable across hosts.
+
+Results land in ``BENCH_learn.json`` (checked in at the repo root).
+Wall-clock numbers live under ``"timing"`` keys and vary with the host;
+everything else is deterministic.
+
+Usage::
+
+    python benchmarks/bench_learn.py            # full bench, writes JSON
+    python benchmarks/bench_learn.py --smoke    # tiny run, no JSON (CI)
+    python benchmarks/bench_learn.py --check    # validate checked-in JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_learn.json"
+
+#: p95 cache-hit latency with learning on may exceed off by at most this.
+OVERHEAD_BAR = 1.10
+
+#: Passes over the matrix set within one measured round are sized so each
+#: round has ~240 samples: host jitter per request is tens of percent, so
+#: the p95 estimator needs a few hundred samples to read the distribution
+#: rather than the noise of a handful of draws.
+FULL_TRAIN_SEEDS = tuple(range(16))
+FULL_HOLDOUT_SEEDS = tuple(range(100, 140))
+FULL_ROUNDS = 5
+FULL_PASSES = 15
+SMOKE_TRAIN_SEEDS = tuple(range(6))
+SMOKE_HOLDOUT_SEEDS = tuple(range(100, 106))
+SMOKE_ROUNDS = 3
+SMOKE_PASSES = 40
+
+NROWS = 1000
+NNZ = 20000
+
+#: Structural keys ``--check`` validates in the checked-in JSON.
+TOP_KEYS = ("bench", "config", "overhead", "agreement")
+OVERHEAD_KEYS = ("bar", "passed", "requests", "timing")
+AGREEMENT_KEYS = (
+    "model_version", "train_matrices", "train_records", "holdout_matrices",
+    "agreement", "per_kind",
+)
+
+
+def _make_coo(seed: int):
+    import numpy as np
+
+    from repro.formats.coo import COOMatrix
+
+    rng = np.random.default_rng(seed)
+    return COOMatrix(
+        NROWS, NROWS,
+        rng.integers(0, NROWS, NNZ),
+        rng.integers(0, NROWS, NNZ),
+        None,
+    )
+
+
+def _services(tmp, profile_cache):
+    from repro.learn import LearnConfig
+    from repro.machine import CORE2_XEON
+    from repro.serve.service import AdvisorService
+
+    plain = AdvisorService(
+        CORE2_XEON, cache_dir=Path(tmp) / "plain", profile_cache=profile_cache
+    )
+    learn = AdvisorService(
+        CORE2_XEON,
+        cache_dir=Path(tmp) / "learn",
+        profile_cache=profile_cache,
+        learn_config=LearnConfig(holdout_mod=2, min_train_samples=4),
+    )
+    return plain, learn
+
+
+def _measure_round(service, matrices, passes: int = 1) -> list[float]:
+    latencies = []
+    for _ in range(passes):
+        for coo in matrices:
+            t0 = time.perf_counter()
+            service.advise(coo, precision="dp")
+            latencies.append(time.perf_counter() - t0)
+    return latencies
+
+
+def _measure_paired(plain, learn, matrices, passes: int):
+    """Per-request latencies for both services, interleaved back-to-back.
+
+    Each matrix is advised on the learn-off service and immediately after
+    on the learn-on one, so a host-noise burst lands on adjacent samples
+    of both sides instead of skewing whichever service held the CPU when
+    it hit.
+    """
+    off, on = [], []
+    for _ in range(passes):
+        for coo in matrices:
+            t0 = time.perf_counter()
+            plain.advise(coo, precision="dp")
+            t1 = time.perf_counter()
+            learn.advise(coo, precision="dp")
+            t2 = time.perf_counter()
+            off.append(t1 - t0)
+            on.append(t2 - t1)
+    return off, on
+
+
+def _p95(latencies: list[float]) -> float:
+    ranked = sorted(latencies)
+    return ranked[min(len(ranked) - 1, int(0.95 * len(ranked)))]
+
+
+def run_bench(
+    *, train_seeds, holdout_seeds, rounds: int, passes: int, tmp: Path
+) -> dict:
+    from repro.learn import train_once
+    from repro.learn.runtime import feature_vector
+    from repro.machine import CORE2_XEON
+    from repro.serve.features import extract_features
+
+    import repro.core.profiling as profiling
+
+    profile_cache = profiling.ProfileCache()
+    plain, learn = _services(tmp, profile_cache)
+    train_matrices = [_make_coo(s) for s in train_seeds]
+
+    # Warm both caches and build the trace, then train + hot-swap.
+    for coo in train_matrices:
+        plain.advise(coo, precision="dp")
+        learn.advise(coo, precision="dp")
+    summary = train_once(
+        learn.learn.tracelog, learn.learn.registry, min_samples=4
+    )
+    if not summary["published"]:
+        raise SystemExit("FATAL: training on the warm traffic did not publish")
+    learn.learn.maybe_reload()
+    # One post-swap pass so guided answers are cached too (their versioned
+    # keys miss once); the measured rounds below are pure hot path.
+    _measure_round(learn, train_matrices)
+
+    # Overhead: min-over-rounds of the per-round p95 on identical
+    # cache-hit traffic, interleaved per request (see _measure_paired) so
+    # host noise gets equal chances on both sides.  Each round makes
+    # ``passes`` passes over the matrix set so its p95 is a converged
+    # percentile: the slots above it absorb the amortized learn-side work
+    # (trace-buffer flush every ``flush_records`` requests, registry poll
+    # every ``reload_poll_every``) plus stray host noise, and the
+    # percentile itself reads the steady-state per-request cost.
+    # Container hosts add multi-millisecond scheduler spikes (10-20x a
+    # single advise); min-over-rounds takes each side's cleanest round
+    # rather than the machine's noise floor.
+    off_p95, on_p95 = [], []
+    for _ in range(rounds):
+        off_lat, on_lat = _measure_paired(
+            plain, learn, train_matrices, passes
+        )
+        off_p95.append(_p95(off_lat))
+        on_p95.append(_p95(on_lat))
+    t_off, t_on = min(off_p95), min(on_p95)
+    ratio = t_on / t_off
+
+    # Agreement: shadow-predict on matrices the tree never trained on.
+    tree, version = learn.learn.registry.current()
+    agree = 0
+    per_kind: dict[str, dict[str, int]] = {}
+    for seed in holdout_seeds:
+        coo = _make_coo(seed)
+        analytic = plain.advise(coo, precision="dp").best.kind
+        vector = feature_vector(
+            extract_features(coo), CORE2_XEON, "dp"
+        )
+        predicted = tree.predict(vector)
+        slot = per_kind.setdefault(analytic, {"observed": 0, "agreed": 0})
+        slot["observed"] += 1
+        if predicted == analytic:
+            slot["agreed"] += 1
+            agree += 1
+
+    return {
+        "bench": "learn",
+        "config": {
+            "nrows": NROWS,
+            "nnz": NNZ,
+            "train_seeds": list(train_seeds),
+            "holdout_seeds": list(holdout_seeds),
+            "rounds": rounds,
+            "machine": "core2-xeon-2.66",
+        },
+        "overhead": {
+            "bar": OVERHEAD_BAR,
+            "passed": ratio <= OVERHEAD_BAR,
+            "requests": rounds * passes * len(train_matrices),
+            "timing": {
+                "off_p95_ms": round(t_off * 1e3, 4),
+                "on_p95_ms": round(t_on * 1e3, 4),
+                "ratio": round(ratio, 4),
+            },
+        },
+        "agreement": {
+            "model_version": version,
+            "train_matrices": len(train_matrices),
+            "train_records": summary["samples"],
+            "holdout_matrices": len(holdout_seeds),
+            "agreement": round(agree / len(holdout_seeds), 4),
+            "per_kind": {
+                kind: per_kind[kind] for kind in sorted(per_kind)
+            },
+        },
+    }
+
+
+def check(path: Path) -> int:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    problems = [k for k in TOP_KEYS if k not in payload]
+    problems += [
+        f"overhead.{k}" for k in OVERHEAD_KEYS
+        if k not in payload.get("overhead", {})
+    ]
+    problems += [
+        f"agreement.{k}" for k in AGREEMENT_KEYS
+        if k not in payload.get("agreement", {})
+    ]
+    if not payload.get("overhead", {}).get("passed", False):
+        problems.append("overhead.passed is not true")
+    if problems:
+        print(f"FAIL: {path} schema: {problems}", file=sys.stderr)
+        return 1
+    print(f"{path.name}: schema OK, overhead bar passed "
+          f"(ratio {payload['overhead']['timing']['ratio']}x, "
+          f"agreement {payload['agreement']['agreement']})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny run, overhead bar only, no JSON output (CI signal)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the checked-in BENCH_learn.json schema and exit",
+    )
+    parser.add_argument("--output", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+    if args.check:
+        return check(Path(args.output))
+
+    import tempfile
+
+    seeds = SMOKE_TRAIN_SEEDS if args.smoke else FULL_TRAIN_SEEDS
+    holdout = SMOKE_HOLDOUT_SEEDS if args.smoke else FULL_HOLDOUT_SEEDS
+    rounds = SMOKE_ROUNDS if args.smoke else FULL_ROUNDS
+    passes = SMOKE_PASSES if args.smoke else FULL_PASSES
+    with tempfile.TemporaryDirectory() as tmp:
+        payload = run_bench(
+            train_seeds=seeds, holdout_seeds=holdout, rounds=rounds,
+            passes=passes, tmp=Path(tmp),
+        )
+
+    timing = payload["overhead"]["timing"]
+    print(
+        f"advise p95: off {timing['off_p95_ms']:.3f}ms, "
+        f"on {timing['on_p95_ms']:.3f}ms -> {timing['ratio']:.3f}x "
+        f"(bar {OVERHEAD_BAR}x); holdout agreement "
+        f"{payload['agreement']['agreement']:.2%} over "
+        f"{payload['agreement']['holdout_matrices']} matrices"
+    )
+    if args.smoke:
+        return 0 if payload["overhead"]["passed"] else 1
+
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not payload["overhead"]["passed"]:
+        print(
+            f"FAIL: learn-on p95 is {timing['ratio']:.3f}x learn-off "
+            f"(bar {OVERHEAD_BAR}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@ Usage::
     python -m repro serve --port 8077             # advisor HTTP service
     python -m repro serve --port 0 --request-timeout 30 --max-inflight 4
     python -m repro serve --fault-plan plan.json  # chaos drill (docs/resilience.md)
+    python -m repro serve --learn --train-interval 30  # online learning (docs/learning.md)
+    python -m repro train                         # offline refit from the trace
     python -m repro fleet --workers 4 --port 8077 # sharded fleet (docs/serving.md)
     python -m repro loadtest --mix chaos --seed 7 # deterministic load harness
     python -m repro lint                          # invariant linter (see docs/lint.md)
@@ -359,6 +361,41 @@ def _build_serve_parser() -> argparse.ArgumentParser:
             "(default: 10)"
         ),
     )
+    learn = parser.add_argument_group("online learning (docs/learning.md)")
+    learn.add_argument(
+        "--learn",
+        action="store_true",
+        help=(
+            "enable the online training loop: trace-log every request, "
+            "shadow-evaluate the learned selector, serve model-guided "
+            "answers when a model is published"
+        ),
+    )
+    learn.add_argument(
+        "--train-interval", type=float, default=None, metavar="SECONDS",
+        help=(
+            "refit and hot-swap the model in-process every SECONDS "
+            "(default: no in-process trainer; run 'repro train' offline)"
+        ),
+    )
+    learn.add_argument(
+        "--holdout-mod", type=int, default=8, metavar="N",
+        help=(
+            "hold out 1-in-N matrix fingerprints for shadow evaluation; "
+            "they are always served by the analytic model (default: 8)"
+        ),
+    )
+    learn.add_argument(
+        "--drift-threshold", type=float, default=0.5, metavar="GAP",
+        help=(
+            "rolling holdout-disagreement gap that trips the drift "
+            "alarm into model-based fallback (default: 0.5)"
+        ),
+    )
+    learn.add_argument(
+        "--drift-window", type=int, default=32, metavar="N",
+        help="rolling-window length for the shadow gap (default: 32)",
+    )
     _add_fault_plan_flag(parser)
     return parser
 
@@ -518,12 +555,32 @@ def _serve_main(argv: Sequence[str]) -> int:
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.train_interval is not None and not args.learn:
+        print("error: --train-interval requires --learn", file=sys.stderr)
+        return 2
     service_kwargs: dict = {"worker_id": args.worker_id}
     if args.profile_dir is not None:
         from .core.profiling import ProfileStore
 
         service_kwargs["profile_cache"] = ProfileStore(args.profile_dir)
+    if args.learn:
+        from .learn import LearnConfig
+
+        if args.holdout_mod < 1:
+            print(
+                f"error: --holdout-mod must be >= 1, got {args.holdout_mod}",
+                file=sys.stderr,
+            )
+            return 2
+        service_kwargs["learn_config"] = LearnConfig(
+            holdout_mod=args.holdout_mod,
+            drift_threshold=args.drift_threshold,
+            drift_window=args.drift_window,
+            train_interval_s=args.train_interval,
+        )
     service = AdvisorService(cache_dir=args.cache_dir, **service_kwargs)
+    if service.learn is not None and args.train_interval is not None:
+        service.learn.start_trainer()
     if args.warmup:
         service.start_warmup()
     kwargs: dict = {}
@@ -556,7 +613,77 @@ def _serve_main(argv: Sequence[str]) -> int:
         flush=True,
     )
     clean = server_mod.run_server(server)
+    if service.learn is not None:
+        service.learn.stop()
     return 0 if clean else 1
+
+
+def _build_train_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv train",
+        description=(
+            "Refit the learned selector from the request trace a "
+            "learn-enabled advisor logged, and publish the model as a "
+            "versioned artifact (docs/learning.md).  A running 'serve "
+            "--learn' on the same cache dir hot-swaps it without restart."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        help="cache root holding the trace log and the model store",
+    )
+    parser.add_argument(
+        "--min-samples", type=int, default=8, metavar="N",
+        help="eligible trace records required to publish (default: 8)",
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=4, metavar="N",
+        help="decision-tree depth limit (default: 4)",
+    )
+    parser.add_argument(
+        "--min-samples-leaf", type=int, default=2, metavar="N",
+        help="minimum samples per tree leaf (default: 2)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the training summary as JSON",
+    )
+    return parser
+
+
+def _train_main(argv: Sequence[str]) -> int:
+    import json as _json
+
+    from .learn import ModelRegistry, TraceLog, train_once
+
+    args = _build_train_parser().parse_args(argv)
+    tracelog = TraceLog(args.cache_dir)
+    registry = ModelRegistry(args.cache_dir)
+    summary = train_once(
+        tracelog,
+        registry,
+        trigger="cli",
+        min_samples=args.min_samples,
+        max_depth=args.max_depth,
+        min_samples_leaf=args.min_samples_leaf,
+    )
+    if args.json:
+        print(_json.dumps(summary, indent=2))
+    elif summary["published"]:
+        print(
+            f"published model {summary['version']} "
+            f"({summary['samples']} samples from {summary['records']} "
+            f"trace records, {summary['elapsed_s']:.2f}s)"
+        )
+    else:
+        print(
+            f"not published: {summary['records']} trace record(s), "
+            f"{summary['samples']} eligible — need --min-samples "
+            f"{args.min_samples} model-made records with features "
+            "(run traffic through 'repro serve --learn' first)"
+        )
+    return 0 if summary["published"] else 1
 
 
 def _build_fleet_parser() -> argparse.ArgumentParser:
@@ -862,6 +989,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _advise_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "train":
+        return _train_main(argv[1:])
     if argv and argv[0] == "fleet":
         return _fleet_main(argv[1:])
     if argv and argv[0] == "loadtest":

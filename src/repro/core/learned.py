@@ -118,6 +118,27 @@ class _Node:
     def is_leaf(self) -> bool:
         return self.left is None
 
+    def to_payload(self) -> dict:
+        if self.is_leaf:
+            return {"label": self.label}
+        return {
+            "feature": self.feature,
+            "threshold": self.threshold,
+            "left": self.left.to_payload(),
+            "right": self.right.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "_Node":
+        if "feature" not in payload:
+            return cls(label=payload["label"])
+        return cls(
+            feature=int(payload["feature"]),
+            threshold=float(payload["threshold"]),
+            left=cls.from_payload(payload["left"]),
+            right=cls.from_payload(payload["right"]),
+        )
+
 
 @dataclass
 class DecisionTree:
@@ -147,6 +168,32 @@ class DecisionTree:
         while not node.is_leaf:
             node = node.left if x[node.feature] <= node.threshold else node.right
         return node.label
+
+    # --------------------------- serialization ------------------------- #
+    def to_payload(self) -> dict:
+        """JSON-safe encoding of a fitted tree (the model artifact body).
+
+        The round trip is exact: thresholds survive via JSON's float
+        round-tripping, so a deserialized tree predicts identically.
+        """
+        if self._root is None:
+            raise ModelError("tree is not fitted")
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "classes": list(self._classes),
+            "root": self._root.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DecisionTree":
+        tree = cls(
+            max_depth=int(payload["max_depth"]),
+            min_samples_leaf=int(payload["min_samples_leaf"]),
+        )
+        tree._classes = list(payload["classes"])
+        tree._root = _Node.from_payload(payload["root"])
+        return tree
 
     # ------------------------------------------------------------------ #
     def _build(self, X: np.ndarray, codes: np.ndarray, depth: int) -> _Node:

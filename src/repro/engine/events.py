@@ -41,7 +41,10 @@ fields are declared in :data:`EVENT_SCHEMAS` below and documented in
 ``docs/resilience.md``.  The fleet layer (:mod:`repro.fleet`) adds
 ``worker_spawn`` / ``worker_ready`` / ``worker_restart``,
 ``fleet_drain_begin`` / ``fleet_drain_end`` and ``request_routed``
-(documented in ``docs/serving.md``).
+(documented in ``docs/serving.md``).  The learning layer
+(:mod:`repro.learn`) adds ``trace_logged``, ``train_begin`` /
+``train_end``, ``model_swap`` and ``drift_alarm`` (documented in
+``docs/learning.md``).
 
 The same schema is declared machine-readably in :data:`EVENT_SCHEMAS`,
 which the ``event-schema`` lint rule (:mod:`repro.analysis`) checks every
@@ -112,6 +115,12 @@ EVENT_SCHEMAS: dict[str, frozenset[str]] = {
     "fleet_drain_begin": frozenset({"workers"}),
     "fleet_drain_end": frozenset({"workers", "clean", "elapsed_s"}),
     "request_routed": frozenset({"shard", "worker_id", "attempt"}),
+    # Learning events (repro.learn; see docs/learning.md).
+    "trace_logged": frozenset({"fingerprint", "mode", "holdout"}),
+    "train_begin": frozenset({"trigger", "records"}),
+    "train_end": frozenset({"version", "samples", "published", "elapsed_s"}),
+    "model_swap": frozenset({"old_version", "new_version"}),
+    "drift_alarm": frozenset({"state", "gap", "threshold", "window"}),
 }
 
 

@@ -63,6 +63,58 @@ SUMMED_COUNTERS = (
     "batches", "degraded", "cache_entries",
 )
 
+#: Counter keys of a worker's ``learn`` /stats block that merge by
+#: summation (the shadow sub-block has its own summed keys below).
+LEARN_SUMMED = ("trace_records", "trace_segments", "model_swaps")
+SHADOW_SUMMED = (
+    "observed", "agreed", "holdout_observed", "holdout_agreed", "window",
+)
+
+
+def _merge_learn(learn_blocks: list[dict]) -> dict:
+    """Fleet-wide ``learn`` view: counters summed, gap recomputed from the
+    pooled holdout tallies, drift-breaker state worst-of across workers,
+    model versions collected (one entry per distinct version — a fleet
+    mid-rollout legitimately shows more than one)."""
+    merged: dict = {"enabled": True}
+    for key in LEARN_SUMMED:
+        merged[key] = sum(b.get(key, 0) for b in learn_blocks)
+    modes: dict[str, int] = {}
+    shadow: dict = {key: 0 for key in SHADOW_SUMMED}
+    versions: list[str] = []
+    breaker: dict | None = None
+    for block in learn_blocks:
+        for mode, count in block.get("modes", {}).items():
+            modes[mode] = modes.get(mode, 0) + count
+        for key in SHADOW_SUMMED:
+            shadow[key] += block.get("shadow", {}).get(key) or 0
+        version = block.get("model_version")
+        if version is not None and version not in versions:
+            versions.append(version)
+        snap = block.get("drift_breaker")
+        if snap is not None:
+            if breaker is None:
+                breaker = dict(snap)
+            else:
+                if BREAKER_SEVERITY.get(
+                    snap.get("state"), 0
+                ) > BREAKER_SEVERITY.get(breaker.get("state"), 0):
+                    breaker["state"] = snap.get("state")
+                breaker["consecutive_failures"] = max(
+                    breaker.get("consecutive_failures", 0),
+                    snap.get("consecutive_failures", 0),
+                )
+    observed = shadow["holdout_observed"]
+    shadow["gap"] = (
+        1.0 - shadow["holdout_agreed"] / observed if observed else None
+    )
+    merged["modes"] = modes
+    merged["shadow"] = shadow
+    merged["model_versions"] = sorted(versions)
+    if breaker is not None:
+        merged["drift_breaker"] = breaker
+    return merged
+
 
 def routing_fingerprint(request: dict) -> str | None:
     """The stable shard key of an ``/advise`` request body, or ``None``.
@@ -96,7 +148,10 @@ def merge_stats(worker_stats: list[dict]) -> dict:
     request count; per-precision breaker states take the *worst* state
     (and the max failure count) across workers, so one open breaker
     anywhere is visible at the fleet level instead of being overwritten
-    by the healthy majority.
+    by the healthy majority.  Learn blocks (when any worker has learning
+    enabled) merge the same way: tallies summed, the shadow gap recomputed
+    from the pooled holdout counts, the drift breaker worst-of (see
+    :func:`_merge_learn`).
     """
     merged: dict = {key: 0 for key in SUMMED_COUNTERS}
     weighted_latency = 0.0
@@ -134,6 +189,14 @@ def merge_stats(worker_stats: list[dict]) -> dict:
     )
     merged["machine"] = machines[0] if len(machines) == 1 else machines
     merged["resilience"] = {"events": events, "breakers": breakers}
+    learn_blocks = [
+        stats["learn"]
+        for stats in worker_stats
+        if stats.get("learn", {}).get("enabled")
+    ]
+    merged["learn"] = (
+        _merge_learn(learn_blocks) if learn_blocks else {"enabled": False}
+    )
     return merged
 
 

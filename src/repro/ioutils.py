@@ -32,6 +32,9 @@ from .resilience.faults import fault_point
 __all__ = [
     "CACHE_DECODE_ERRORS",
     "atomic_write_json",
+    "append_jsonl",
+    "append_jsonl_lines",
+    "append_jsonl_many",
     "remove_stale_tmp_files",
 ]
 
@@ -75,6 +78,50 @@ def atomic_write_json(path: str | Path, payload: object) -> None:
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+
+
+def append_jsonl(path: str | Path, record: dict) -> int:
+    """Append ``record`` as one JSON line to ``path``; returns bytes written.
+
+    The line is serialized first and written with a single ``write`` call on
+    an ``O_APPEND`` handle, so concurrent appenders (threads or processes)
+    interleave whole lines, never fragments.  Readers tolerate a torn final
+    line from a hard crash by skipping lines that fail to parse — this is a
+    log, not a datastore, which is why the tmp-file + rename dance of
+    :func:`atomic_write_json` would be the wrong tool here.
+    """
+    return append_jsonl_many(path, (record,))
+
+
+def append_jsonl_many(path: str | Path, records) -> int:
+    """Append each of ``records`` as a JSON line; returns bytes written.
+
+    One ``open`` and one ``write`` for the whole batch — the amortized
+    shape behind a buffered log's flush.  Same whole-lines-only guarantee
+    as :func:`append_jsonl`.
+    """
+    return append_jsonl_lines(
+        path, [json.dumps(record, sort_keys=True) for record in records]
+    )
+
+
+def append_jsonl_lines(path: str | Path, lines) -> int:
+    """Append pre-serialized JSON ``lines`` (no trailing newlines).
+
+    The serialize-once half of :func:`append_jsonl_many`: callers that
+    already hold each record's canonical JSON text (a buffered log doing
+    its own size accounting) append it without a second ``json.dumps``
+    pass.  Returns bytes written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = "".join(line + "\n" for line in lines)
+    if not text:
+        return 0
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+    return len(text.encode("utf-8"))
 
 
 def _writer_pid(name: str) -> int | None:

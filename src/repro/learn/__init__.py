@@ -1,0 +1,52 @@
+"""Online training loop for the learned advisor (see docs/learning.md).
+
+The paper's Section VI closes with machine-learned format selection as
+future work; :mod:`repro.core.learned` implements it as an *offline* CART
+selector.  This package makes it a production ML story around the advisor
+service:
+
+* :mod:`~repro.learn.tracelog` — bounded JSONL request trace (the
+  training set on disk);
+* :mod:`~repro.learn.trainer` — background/offline refits publishing
+  content-token-versioned model artifacts;
+* :mod:`~repro.learn.registry` — the versioned model store with
+  lock-disciplined hot-swap;
+* :mod:`~repro.learn.shadow` — held-out shadow evaluation and the
+  drift-alarm breaker;
+* :mod:`~repro.learn.runtime` — the per-request glue the
+  :class:`~repro.serve.service.AdvisorService` drives.
+
+Everything is seeded and deterministic modulo timing, so tests pin the
+whole trace → refit → hot-swap → drift cycle.
+"""
+
+from .registry import MODEL_SCHEMA, ModelRegistry, model_token
+from .runtime import (
+    MODES,
+    LearnConfig,
+    LearnDecision,
+    LearnRuntime,
+    feature_vector,
+)
+from .shadow import ShadowEvaluator, is_holdout
+from .tracelog import TRACE_SCHEMA, TraceLog, canonical_record
+from .trainer import Trainer, fit_from_records, train_once
+
+__all__ = [
+    "MODEL_SCHEMA",
+    "TRACE_SCHEMA",
+    "MODES",
+    "LearnConfig",
+    "LearnDecision",
+    "LearnRuntime",
+    "ModelRegistry",
+    "ShadowEvaluator",
+    "TraceLog",
+    "Trainer",
+    "canonical_record",
+    "feature_vector",
+    "fit_from_records",
+    "is_holdout",
+    "model_token",
+    "train_once",
+]

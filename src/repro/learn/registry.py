@@ -1,0 +1,182 @@
+"""Versioned model artifacts and lock-disciplined hot-swap.
+
+The trainer publishes a fitted :class:`~repro.core.learned.DecisionTree`
+as a **content-token-versioned** artifact under
+``<cache_dir>/learn/models/`` — the same versioning discipline as
+:class:`~repro.core.profiling.ProfileStore`: the version is a SHA-256
+prefix of the canonical JSON payload, so identical training outcomes get
+identical versions (re-publishing is a no-op) and any change to the tree
+yields a new version with no manual bookkeeping.
+
+Publication is a two-file atomic dance: the immutable artifact
+(``model_<version>.json``) lands first, then the ``current.json`` pointer
+is atomically replaced — a reader never observes a pointer to a
+half-written artifact.
+
+:class:`ModelRegistry` is the serving side: :meth:`reload` polls the
+pointer (an ``mtime``/size signature makes the common no-change case one
+``stat``) and swaps the in-memory tree under a lock.  In-flight requests
+keep the ``(tree, version)`` snapshot they took via :meth:`current`, so a
+swap never changes an answer mid-request — that is the hot-swap contract
+``serve --learn`` relies on to pick up new models without a restart.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from hashlib import sha256
+from pathlib import Path
+
+from ..core.learned import DecisionTree
+from ..ioutils import (
+    CACHE_DECODE_ERRORS,
+    atomic_write_json,
+    remove_stale_tmp_files,
+)
+
+__all__ = [
+    "MODEL_SCHEMA",
+    "model_token",
+    "ModelRegistry",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the artifact layout changes (old artifacts are then ignored).
+MODEL_SCHEMA = 1
+
+
+def model_token(payload: dict) -> str:
+    """Content hash of a serialized tree — the model's version string."""
+    return sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+class ModelRegistry:
+    """Read/write access to the versioned model store for one cache dir."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.root = Path(cache_dir) / "learn" / "models"
+        remove_stale_tmp_files(self.root)
+        self._lock = threading.Lock()
+        self._tree: DecisionTree | None = None
+        self._version: str | None = None
+        self._pointer_sig: tuple[int, int] | None = None
+
+    # ----------------------------- publish ----------------------------- #
+    def publish(self, tree_payload: dict, *, meta: dict | None = None) -> str:
+        """Write a versioned artifact and atomically repoint ``current``.
+
+        Returns the content-token version.  Publishing the same payload
+        twice is idempotent (same version, pointer rewritten atomically).
+        """
+        version = model_token(tree_payload)
+        artifact = {
+            "schema": MODEL_SCHEMA,
+            "version": version,
+            "tree": tree_payload,
+            "meta": dict(meta) if meta else {},
+        }
+        # Artifact first, pointer second: a crash between the two leaves a
+        # valid (if unreferenced) artifact, never a dangling pointer.
+        atomic_write_json(self.artifact_path(version), artifact)
+        atomic_write_json(
+            self.pointer_path(), {"schema": MODEL_SCHEMA, "version": version}
+        )
+        return version
+
+    def artifact_path(self, version: str) -> Path:
+        return self.root / f"model_{version}.json"
+
+    def pointer_path(self) -> Path:
+        return self.root / "current.json"
+
+    def versions(self) -> list[str]:
+        """Every published version on disk, sorted (deterministic)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name[len("model_"):-len(".json")]
+            for p in self.root.glob("model_*.json")
+        )
+
+    # ------------------------------ serve ------------------------------ #
+    def current(self) -> tuple[DecisionTree | None, str | None]:
+        """Snapshot of the live ``(tree, version)`` — safe to keep using
+        across a concurrent swap (trees are immutable once fitted)."""
+        with self._lock:
+            return self._tree, self._version
+
+    def reload(self) -> tuple[str | None, str] | None:
+        """Pick up a newly published model, if any.
+
+        Returns ``(old_version, new_version)`` when a swap happened,
+        ``None`` otherwise (no pointer, unchanged pointer, or a corrupt
+        pointer/artifact — logged and ignored, the old model keeps
+        serving).  Cheap when nothing changed: a single ``stat`` of the
+        pointer file.
+        """
+        pointer = self.pointer_path()
+        try:
+            st = pointer.stat()
+        except OSError:
+            return None
+        sig = (st.st_mtime_ns, st.st_size)
+        with self._lock:
+            if sig == self._pointer_sig:
+                return None
+            known_version = self._version
+        version = self._read_pointer(pointer)
+        if version is None:
+            return None
+        tree = None
+        if version != known_version:
+            tree = self._load_artifact(version)
+            if tree is None:
+                return None
+        with self._lock:
+            self._pointer_sig = sig
+            if version == self._version:
+                return None
+            old = self._version
+            self._tree = tree
+            self._version = version
+        return (old, version)
+
+    # ----------------------------- loading ----------------------------- #
+    def _read_pointer(self, pointer: Path) -> str | None:
+        try:
+            meta = json.loads(pointer.read_text(encoding="utf-8"))
+            if meta["schema"] != MODEL_SCHEMA:
+                raise ValueError(f"pointer schema {meta['schema']!r}")
+            version = meta["version"]
+            if not isinstance(version, str) or not version:
+                raise ValueError(f"bad version {version!r}")
+            return version
+        except (OSError, *CACHE_DECODE_ERRORS) as exc:
+            logger.warning(
+                "ignoring corrupt model pointer %s (%s: %s)",
+                pointer, type(exc).__name__, exc,
+            )
+            return None
+
+    def _load_artifact(self, version: str) -> DecisionTree | None:
+        path = self.artifact_path(version)
+        try:
+            artifact = json.loads(path.read_text(encoding="utf-8"))
+            if artifact["schema"] != MODEL_SCHEMA:
+                raise ValueError(f"artifact schema {artifact['schema']!r}")
+            if artifact["version"] != version:
+                raise ValueError(
+                    f"artifact claims version {artifact['version']!r}"
+                )
+            return DecisionTree.from_payload(artifact["tree"])
+        except (OSError, *CACHE_DECODE_ERRORS) as exc:
+            logger.warning(
+                "ignoring corrupt model artifact %s (%s: %s)",
+                path, type(exc).__name__, exc,
+            )
+            return None

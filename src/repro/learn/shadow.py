@@ -1,0 +1,159 @@
+"""Shadow evaluation of the learned selector, with a drift alarm.
+
+Every non-guided request the learn runtime sees also runs the learned
+tree *in shadow*: predict the format kind from the request's features and
+compare it with the kind the OVERLAP model actually chose.  The
+**held-out split** — a deterministic slice of matrix fingerprints
+(:func:`is_holdout`) that is always served by the analytic model and
+never steers it — accumulates a rolling *selection-agreement gap*
+(``1 - agreement``) that ``GET /stats`` exposes and
+:func:`repro.fleet.balancer.merge_stats` fans in across a fleet.
+
+When the rolling gap degrades past the configured threshold, a dedicated
+:class:`~repro.resilience.guard.CircuitBreaker` trips (``drift_alarm``
+event): guided serving is suspended and the service **falls back to pure
+model-based selection** until the gap recovers.  Recovery is data-driven:
+holdout requests keep flowing (they never depended on the model), so a
+healthy gap closes the breaker again — the reset timeout only bounds how
+long a trip suppresses re-trip event noise.  The breaker clock is
+injectable through :class:`~repro.resilience.guard.BreakerConfig`, so
+tests drive the whole trip/recover cycle on a fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from ..resilience.guard import BreakerConfig, CircuitBreaker
+
+__all__ = [
+    "is_holdout",
+    "ShadowEvaluator",
+    "DEFAULT_DRIFT_BREAKER",
+]
+
+#: Drift-breaker defaults: two consecutive over-threshold windows trip it;
+#: the long reset timeout exists only to let a stale trip re-probe — the
+#: normal close path is a recovered gap, not a timer.
+DEFAULT_DRIFT_BREAKER = BreakerConfig(
+    failure_threshold=2, reset_timeout_s=300.0
+)
+
+
+def is_holdout(fingerprint: str, mod: int) -> bool:
+    """Deterministic held-out split: 1-in-``mod`` matrix fingerprints.
+
+    The fingerprint is a hex content hash, so the split is stable across
+    restarts, processes and fleet workers — every worker agrees on which
+    matrices are held out.  ``mod <= 1`` holds out everything (useful in
+    tests); the advisor default is 8 (12.5% of distinct matrices).
+    """
+    if mod <= 1:
+        return True
+    return int(fingerprint, 16) % mod == 0
+
+
+class ShadowEvaluator:
+    """Rolling agreement window + drift breaker (thread-safe)."""
+
+    def __init__(
+        self,
+        *,
+        threshold: float = 0.5,
+        window: int = 32,
+        min_window: int = 8,
+        breaker_config: BreakerConfig | None = None,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if min_window < 1 or window < min_window:
+            raise ValueError(
+                f"need 1 <= min_window <= window, got "
+                f"min_window={min_window} window={window}"
+            )
+        self.threshold = threshold
+        self.window = window
+        self.min_window = min_window
+        self.breaker = CircuitBreaker(
+            breaker_config
+            if breaker_config is not None
+            else DEFAULT_DRIFT_BREAKER
+        )
+        self._lock = threading.Lock()
+        self._recent: deque[bool] = deque(maxlen=window)
+        self._observed = 0
+        self._agreed = 0
+        self._holdout_observed = 0
+        self._holdout_agreed = 0
+
+    # ----------------------------- observe ----------------------------- #
+    def observe(
+        self, agree: bool, *, holdout: bool
+    ) -> tuple[str | None, float | None]:
+        """Record one shadow comparison.
+
+        Only holdout observations enter the rolling window and drive the
+        breaker (their baseline choice is provably model-made).  Returns
+        ``(transition, gap)``: ``transition`` is ``"open"`` / ``"close"`` /
+        ``None`` (the caller emits the ``drift_alarm`` event), ``gap`` is
+        the rolling gap once the window has ``min_window`` samples.
+        """
+        with self._lock:
+            self._observed += 1
+            if agree:
+                self._agreed += 1
+            if not holdout:
+                return (None, None)
+            self._holdout_observed += 1
+            if agree:
+                self._holdout_agreed += 1
+            self._recent.append(bool(agree))
+            if len(self._recent) < self.min_window:
+                return (None, None)
+            gap = 1.0 - sum(self._recent) / len(self._recent)
+        if gap > self.threshold:
+            if self.breaker.state == CircuitBreaker.HALF_OPEN:
+                # Claim the half-open probe so this failure re-opens the
+                # breaker (and refreshes its timeout) instead of leaving it
+                # half-open forever on a still-bad gap.
+                self.breaker.allow()
+            return (self.breaker.record_failure(), gap)
+        return (self.breaker.record_success(), gap)
+
+    # ------------------------------ state ------------------------------ #
+    @property
+    def active(self) -> bool:
+        """May guided serving use the learned model right now?
+
+        False exactly while the drift breaker is open; half-open counts as
+        active (the probe that either closes or re-trips it).
+        """
+        return self.breaker.state != CircuitBreaker.OPEN
+
+    def gap(self) -> float | None:
+        """The rolling holdout gap, or ``None`` before ``min_window``."""
+        with self._lock:
+            if len(self._recent) < self.min_window:
+                return None
+            return 1.0 - sum(self._recent) / len(self._recent)
+
+    def snapshot(self) -> dict:
+        """State for ``GET /stats`` (fans in via ``merge_stats``)."""
+        with self._lock:
+            recent = len(self._recent)
+            gap = (
+                1.0 - sum(self._recent) / recent
+                if recent >= self.min_window
+                else None
+            )
+            snap = {
+                "observed": self._observed,
+                "agreed": self._agreed,
+                "holdout_observed": self._holdout_observed,
+                "holdout_agreed": self._holdout_agreed,
+                "window": recent,
+                "gap": gap,
+            }
+        snap["threshold"] = self.threshold
+        return snap

@@ -1,0 +1,234 @@
+"""Background refits of the learned selector from the request trace.
+
+:func:`train_once` is the whole training step, shared by the in-process
+:class:`Trainer` thread (``serve --learn --train-interval N``) and the
+offline ``repro train`` CLI: read the trace, keep the **model-made**
+records (modes ``baseline`` and ``holdout`` — answers a published learned
+model steered are excluded, so the model never trains on its own output),
+fit a :class:`~repro.core.learned.DecisionTree` on (feature vector,
+chosen format kind) pairs, and publish it through the
+:class:`~repro.learn.registry.ModelRegistry`.
+
+Training is deterministic: the tree fit is seed-free (exhaustive CART
+splits), records are read in segment order, and the published version is
+a content token — the same trace always yields the same version.
+``train_begin`` / ``train_end`` events bracket every attempt (including
+"not enough samples" no-ops, with ``published: false``).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+
+import numpy as np
+
+from ..core.learned import DecisionTree
+from ..engine.events import EventBus
+from ..errors import ModelError
+from .registry import ModelRegistry
+from .tracelog import TraceLog
+
+__all__ = [
+    "TRAINABLE_MODES",
+    "fit_from_records",
+    "train_once",
+    "Trainer",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Modes whose chosen kind is a pure OVERLAP/MEM-model decision; ``guided``
+#: answers are excluded to keep the learned model out of its own training
+#: set (no feedback loop).
+TRAINABLE_MODES = ("baseline", "holdout", "fallback")
+
+#: Below this many eligible records a training attempt is a no-op.
+DEFAULT_MIN_SAMPLES = 8
+
+
+def fit_from_records(
+    records,
+    *,
+    max_depth: int = 4,
+    min_samples_leaf: int = 2,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+) -> tuple[DecisionTree, int] | None:
+    """Fit a tree on the eligible records; ``None`` when too few.
+
+    Eligible records carry a feature vector and a model-made choice (see
+    :data:`TRAINABLE_MODES`).  Returns ``(fitted tree, sample count)``.
+    """
+    X: list[list[float]] = []
+    y: list[str] = []
+    for record in records:
+        features = record.get("features")
+        chosen = record.get("chosen")
+        if (
+            record.get("mode") in TRAINABLE_MODES
+            and isinstance(features, list)
+            and features
+            and isinstance(chosen, dict)
+            and chosen.get("kind")
+        ):
+            X.append([float(v) for v in features])
+            y.append(str(chosen["kind"]))
+    if len(X) < min_samples:
+        return None
+    tree = DecisionTree(
+        max_depth=max_depth, min_samples_leaf=min_samples_leaf
+    )
+    tree.fit(np.asarray(X, dtype=np.float64), y)
+    return tree, len(X)
+
+
+def train_once(
+    tracelog: TraceLog,
+    registry: ModelRegistry,
+    *,
+    bus: EventBus | None = None,
+    trigger: str = "cli",
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+    max_depth: int = 4,
+    min_samples_leaf: int = 2,
+) -> dict:
+    """One full training step: trace -> fit -> versioned publish.
+
+    Returns a summary dict (``published``, ``version``, ``samples``,
+    ``records``, ``elapsed_s``).  A publish of an unchanged tree reuses
+    the existing content-token version (idempotent).
+    """
+    t0 = time.perf_counter()
+    records = list(tracelog.records())
+    if bus is not None:
+        bus.emit("train_begin", trigger=trigger, records=len(records))
+    version: str | None = None
+    samples = 0
+    published = False
+    try:
+        fitted = fit_from_records(
+            records,
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            min_samples=min_samples,
+        )
+        if fitted is not None:
+            tree, samples = fitted
+            version = registry.publish(
+                tree.to_payload(),
+                meta={"samples": samples, "trigger": trigger},
+            )
+            published = True
+    except ModelError as exc:
+        # A degenerate trace (e.g. every label identical after filtering
+        # corrupt rows) must not kill the trainer thread.
+        logger.warning("training failed (%s: %s)", type(exc).__name__, exc)
+    elapsed = time.perf_counter() - t0
+    if bus is not None:
+        bus.emit(
+            "train_end",
+            version=version,
+            samples=samples,
+            published=published,
+            elapsed_s=round(elapsed, 6),
+        )
+    return {
+        "published": published,
+        "version": version,
+        "samples": samples,
+        "records": len(records),
+        "elapsed_s": elapsed,
+    }
+
+
+class Trainer:
+    """Periodic in-process trainer thread for ``serve --learn``.
+
+    Refits only when the trace grew since the last attempt (cheap idle
+    polls), and invokes ``on_publish`` after every successful publish so
+    the owning runtime can hot-swap immediately instead of waiting for
+    the next request's registry poll.
+    """
+
+    def __init__(
+        self,
+        tracelog: TraceLog,
+        registry: ModelRegistry,
+        *,
+        interval_s: float = 30.0,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        bus: EventBus | None = None,
+        on_publish=None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.tracelog = tracelog
+        self.registry = registry
+        self.interval_s = interval_s
+        self.min_samples = min_samples
+        self.bus = bus
+        self.on_publish = on_publish
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._trained_at_count = -1
+        self._cycles = 0
+        self._publishes = 0
+
+    # ---------------------------- lifecycle ----------------------------- #
+    def start(self) -> "Trainer":
+        if self._thread is not None:
+            raise RuntimeError("trainer already started")
+        self._thread = threading.Thread(
+            target=self._run, name="learn-trainer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # ------------------------------ loop -------------------------------- #
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.train_if_grown(trigger="interval")
+
+    def train_if_grown(self, *, trigger: str = "interval") -> dict | None:
+        """Run a training step iff this process logged new records."""
+        logged = self.tracelog.records_logged
+        with self._lock:
+            if logged <= self._trained_at_count:
+                return None
+            self._trained_at_count = logged
+        summary = train_once(
+            self.tracelog,
+            self.registry,
+            bus=self.bus,
+            trigger=trigger,
+            min_samples=self.min_samples,
+        )
+        with self._lock:
+            self._cycles += 1
+            if summary["published"]:
+                self._publishes += 1
+        if summary["published"] and self.on_publish is not None:
+            self.on_publish()
+        return summary
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "running": self.running,
+                "interval_s": self.interval_s,
+                "cycles": self._cycles,
+                "publishes": self._publishes,
+            }

@@ -12,7 +12,9 @@ A deliberately small ``http.server`` wrapper — no third-party web framework
   requested profile warmup completes, 200 otherwise (the fleet
   balancer's per-worker health check, see ``docs/serving.md``);
 * ``GET /stats`` — the service counters plus the resilience section
-  (event tallies, per-precision breaker states).
+  (event tallies, per-precision breaker states) and, on a learn-enabled
+  service, the ``learn`` block (model version, serving-mode tallies,
+  shadow gap, drift-breaker state — see ``docs/learning.md``).
 
 :class:`ThreadingHTTPServer` gives one thread per connection; the service
 underneath is thread-safe, so concurrent ``POST /advise`` requests are
@@ -339,6 +341,7 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
         payload = rec.to_payload()
         payload["cache_hit"] = rec.cache_hit
         payload["degraded"] = rec.degraded
+        payload["learned"] = rec.learned
         payload["elapsed_s"] = rec.elapsed_s
         payload["best"] = rec.best.to_payload()
         payload["best"]["label"] = rec.best.label

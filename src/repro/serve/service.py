@@ -13,7 +13,12 @@
   calibration, so a repeated matrix is answered without touching a model;
 * **batch** — :meth:`AdvisorService.advise_many` evaluates many matrices on
   a thread pool with per-request error isolation and timeout: one bad
-  matrix yields one :class:`AdviseError` entry, never a failed batch.
+  matrix yields one :class:`AdviseError` entry, never a failed batch;
+* **learn** — with a :class:`~repro.learn.LearnConfig` the service drives
+  the online training loop (:mod:`repro.learn`): every answered request is
+  trace-logged and shadow-compared, published models guide the candidate
+  pool on non-holdout requests, and a drift alarm falls the service back
+  to pure model-based selection (see ``docs/learning.md``).
 """
 
 from __future__ import annotations
@@ -25,7 +30,10 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..learn import LearnConfig
 
 from ..core.candidates import FIXED_BLOCK_KINDS, Candidate, candidate_space
 from ..core.profiling import ProfileCache, ProfileStore
@@ -173,6 +181,10 @@ class Recommendation:
     #: simulate / models); ``None`` on cache hits served from entries
     #: written before the field existed.
     phase_timings: dict[str, float] | None = None
+    #: Learn-mode annotations (serving mode, model version, shadow
+    #: outcome) stamped by the learn runtime.  Per-response state like
+    #: ``cache_hit``/``degraded`` — never persisted in the cache.
+    learned: dict | None = None
 
     @property
     def best(self) -> RankedCandidate:
@@ -269,6 +281,8 @@ class AdvisorService:
         breaker_config: BreakerConfig | None = None,
         reporters: tuple | list = (),
         worker_id: int | None = None,
+        learn_config: "LearnConfig | None" = None,
+        drift_breaker_config: BreakerConfig | None = None,
     ) -> None:
         self.machine = (
             machine if machine is not None else get_preset(DEFAULT_MACHINE)
@@ -321,6 +335,23 @@ class AdvisorService:
         self.bus = EventBus(reporters)
         self._event_counter = _EventCounter()
         self.bus.subscribe(self._event_counter)
+        # Online learning (docs/learning.md): needs the persistent cache
+        # dir for the trace log and model registry.
+        self.learn = None
+        if learn_config is not None:
+            if cache_dir is None:
+                raise ValueError(
+                    "learning requires a cache_dir (trace log + model store)"
+                )
+            from ..learn import LearnRuntime
+
+            self.learn = LearnRuntime(
+                cache_dir,
+                machine=self.machine,
+                bus=self.bus,
+                config=learn_config,
+                drift_breaker_config=drift_breaker_config,
+            )
         plan = current_plan()
         if plan is not None:
             plan.on_inject = lambda ev: self.bus.emit("fault_injected", **ev)
@@ -429,6 +460,16 @@ class AdvisorService:
         with self._stats_lock:
             self._latency_total_s += rec.elapsed_s
             self._latency_count += 1
+        if self.learn is not None and rec.learned is not None:
+            # Observation is best-effort: a full disk under the trace log
+            # must not fail a request whose answer is already computed.
+            try:
+                self.learn.finish(rec)
+            except Exception as exc:  # noqa: BLE001 - never into the request
+                logger.warning(
+                    "learn observation failed (%s: %s); serving anyway",
+                    type(exc).__name__, exc,
+                )
         return rec
 
     def _advise_inner(
@@ -451,13 +492,27 @@ class AdvisorService:
         if deadline is not None:
             deadline.check("profile")
 
+        # Learn mode: decide how this request is served *before* the cache
+        # lookup — a model-guided answer depends on the model version, so
+        # its cache key carries it (a hot-swap can never serve stale
+        # guidance), while holdout/baseline/fallback answers stay on the
+        # plain key the analytic path has always used.
+        decision = None
+        options_key = options.cache_key()
+        if self.learn is not None:
+            decision = self.learn.decide(fingerprint)
+            if decision.mode == "guided":
+                options_key += f"|learn:{decision.model_version}"
+
         key = None
         if self.store is not None and use_cache:
-            key = AdvisorStore.key(fingerprint, options.cache_key(), token)
+            key = AdvisorStore.key(fingerprint, options_key, token)
             payload = self.store.load(key, token=token)
             if payload is not None:
                 self._bump("cache_hits")
                 rec = Recommendation.from_payload(payload, cache_hit=True)
+                if decision is not None:
+                    rec.learned = decision.to_payload()
                 # Degraded mode: with the breaker open the cold path is
                 # refusing work, but a cached answer is still a correct
                 # answer — serve it, flagged.
@@ -484,15 +539,31 @@ class AdvisorService:
             )
             n_structures_total = len({(c.kind, c.block) for c in candidates})
             features: MatrixFeatures | None = None
-            decision: PruneDecision | None = None
+            pruning: PruneDecision | None = None
             pool = candidates
             if options.prune:
                 features = extract_features(coo)
-                decision = prune_candidates(
+                pruning = prune_candidates(
                     features, candidates, self.prune_config,
                     precision=precision,
                 )
-                pool = decision.kept
+                pool = pruning.kept
+            if self.learn is not None and features is None:
+                # Learning needs the feature bundle even on --no-prune
+                # requests: the trace logs the derived vector and the
+                # shadow comparison predicts from it.
+                features = extract_features(coo)
+            predicted_kind = None
+            if (
+                decision is not None
+                and decision.mode == "guided"
+                and features is not None
+            ):
+                vector = self.learn.feature_vector(features, precision)
+                predicted_kind = decision.tree.predict(vector)
+                guided = [c for c in pool if c.kind == predicted_kind]
+                if guided:
+                    pool = guided
             if deadline is not None:
                 deadline.check("prune")
 
@@ -534,9 +605,13 @@ class AdvisorService:
             n_structures_total=n_structures_total,
             elapsed_s=0.0,
             features=features.to_payload() if features is not None else None,
-            pruned_structures=dict(decision.dropped) if decision else {},
+            pruned_structures=dict(pruning.dropped) if pruning else {},
             phase_timings={k: round(v, 6) for k, v in timings.items()},
         )
+        if decision is not None:
+            rec.learned = decision.to_payload()
+            if predicted_kind is not None:
+                rec.learned["predicted_kind"] = predicted_kind
         if self.store is not None and use_cache and key is not None:
             # Best-effort: a failed cache save (full disk, injected store
             # fault) must not fail a request whose answer is already
@@ -640,6 +715,11 @@ class AdvisorService:
                 for precision, breaker in sorted(breakers.items())
             },
         }
+        snap["learn"] = (
+            self.learn.snapshot()
+            if self.learn is not None
+            else {"enabled": False}
+        )
         return snap
 
 
