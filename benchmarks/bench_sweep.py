@@ -1,33 +1,40 @@
-"""Before/after benchmark of the sweep's inner loop (the SimPlan layer).
+"""Before/after benchmark of the sweep's inner loop (batched array program).
 
 Measures the reduced golden config — dp, 1 thread, ``max_block_elems=4``,
-suite indices 1 (dense), 27 (pwtk) and 30 (rand-sparse) — twice:
+suite indices 1 (dense), 27 (pwtk) and 30 (rand-sparse) — three ways:
 
-* **baseline** — what a cold pre-PR worker paid: lazy in-process profile
+* **baseline** — what a cold pre-PR-3 worker paid: lazy in-process profile
   calibration plus the sweep through the preserved reference simulator
   (``simulate_reference``, the verbatim per-call path with the windowed
   miss-estimator loop).  The calibration itself is also routed through the
   reference simulator, as it was before the plan layer existed.
-* **optimized** — what a warm post-PR worker pays: the calibrated profile
-  served float-exactly from the on-disk :class:`ProfileStore` plus the
-  sweep through the plan-based ``simulate``.
+* **simplan** — the PR 3 state of the art: the calibrated profile served
+  float-exactly from the on-disk :class:`ProfileStore` plus the per-cell
+  plan-based ``simulate`` (``batch=False``).
+* **batched** — the production path: the same warm profile plus the
+  whole-matrix array program (:mod:`repro.machine.batch`), one fused
+  structural planning pass and vectorized cell evaluation.
 
-Both paths produce byte-identical ``canonical_json()`` — asserted here on
-every run — so the speedup is free.  Results are written to
-``BENCH_sweep.json`` (checked in at the repo root).
+All three produce byte-identical ``canonical_json()`` — asserted on every
+run, together with the golden sha — so each speedup is free.  Results are
+written to ``BENCH_sweep.json`` (checked in at the repo root) with the
+per-phase breakdown of both the reference and the batched path.
 
 Usage::
 
     python benchmarks/bench_sweep.py            # full bench, writes JSON
     python benchmarks/bench_sweep.py --smoke    # one tiny matrix, no JSON
 
-The full run asserts the PR's acceptance bar (>= 2.5x); ``--smoke`` only
-asserts the optimized path wins at all, sized for a CI minute.
+The full run asserts this PR's acceptance bar (batched >= 3x over the
+simplan path) and the golden canonical sha; ``--smoke`` asserts its own
+pinned sha through the batched path plus that batching wins at all, sized
+for a CI minute.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 import time
@@ -39,7 +46,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 FULL_INDICES = (1, 27, 30)
 SMOKE_INDICES = (1,)
-SPEEDUP_BAR = 2.5
+#: Acceptance bar: batched over the PR 3 per-cell SimPlan path.
+SPEEDUP_BAR = 3.0
+#: Golden canonical_json sha prefixes (see also tests/test_plan.py).
+CANONICAL_SHA = "5eb35e90e7ecbca8"
+SMOKE_SHA = "68288cd28a678a98"
 
 
 def _config(indices):
@@ -54,7 +65,7 @@ def _config(indices):
 
 
 def _run_baseline(config):
-    """Cold pre-PR worker: lazy calibration + reference simulator."""
+    """Cold pre-PR-3 worker: lazy calibration + reference simulator."""
     import repro.core.profiling as profiling
     from repro.bench.harness import run_sweep
     from repro.core.profiling import ProfileCache
@@ -75,16 +86,33 @@ def _run_baseline(config):
     return result, elapsed
 
 
-def _run_optimized(config, store_dir):
-    """Warm post-PR worker: disk-served profile + plan-based simulator."""
+def _run_simplan(config, store_dir):
+    """Warm PR 3 worker: disk-served profile + per-cell plan simulator."""
     from repro.bench.harness import run_sweep
     from repro.core.profiling import ProfileStore
 
     t0 = time.perf_counter()
     result = run_sweep(
-        config=config, profile_cache=ProfileStore(store_dir)
+        config=config, profile_cache=ProfileStore(store_dir), batch=False
     )
     return result, time.perf_counter() - t0
+
+
+def _run_batched(config, store_dir):
+    """Warm production worker: disk-served profile + batched array program."""
+    from repro.bench.harness import run_sweep
+    from repro.core.profiling import ProfileStore
+
+    t0 = time.perf_counter()
+    result = run_sweep(
+        config=config, profile_cache=ProfileStore(store_dir), batch=True
+    )
+    return result, time.perf_counter() - t0
+
+
+def _phases(matrix) -> dict:
+    timings = getattr(matrix, "_phase_timings", {})
+    return {k: round(v, 4) for k, v in sorted(timings.items())}
 
 
 def run_bench(indices, *, rounds: int, store_dir: Path) -> dict:
@@ -97,28 +125,30 @@ def run_bench(indices, *, rounds: int, store_dir: Path) -> dict:
 
     ProfileStore(store_dir).get(get_preset(config.machine_name), "dp")
 
-    baselines, optimizeds = [], []
+    baselines, simplans, batcheds = [], [], []
     canonical = None
     for _ in range(rounds):
         ref, t_base = _run_baseline(config)
-        opt, t_opt = _run_optimized(config, store_dir)
-        if ref.canonical_json() != opt.canonical_json():
-            raise SystemExit("FATAL: optimized sweep is not byte-identical")
+        mid, t_simplan = _run_simplan(config, store_dir)
+        opt, t_batched = _run_batched(config, store_dir)
+        if not (
+            ref.canonical_json() == mid.canonical_json() == opt.canonical_json()
+        ):
+            raise SystemExit("FATAL: sweep paths are not byte-identical")
         canonical = opt.canonical_json()
         baselines.append(t_base)
-        optimizeds.append(t_opt)
+        simplans.append(t_simplan)
+        batcheds.append(t_batched)
 
     per_matrix = {}
-    for matrix in ref.matrices:
-        timings = getattr(matrix, "_phase_timings", {})
-        per_matrix[matrix.name] = {
-            "idx": matrix.idx,
-            "nnz": matrix.nnz,
-            "reference_phases_s": {
-                k: round(v, 4) for k, v in sorted(timings.items())
-            },
+    for ref_m, opt_m in zip(ref.matrices, opt.matrices):
+        per_matrix[ref_m.name] = {
+            "idx": ref_m.idx,
+            "nnz": ref_m.nnz,
+            "reference_phases_s": _phases(ref_m),
+            "batched_phases_s": _phases(opt_m),
         }
-    t_base, t_opt = min(baselines), min(optimizeds)
+    t_base, t_simplan, t_batched = min(baselines), min(simplans), min(batcheds)
     return {
         "config": {
             "precisions": list(config.precisions),
@@ -128,13 +158,15 @@ def run_bench(indices, *, rounds: int, store_dir: Path) -> dict:
         },
         "rounds": rounds,
         "baseline_s": round(t_base, 3),
-        "optimized_s": round(t_opt, 3),
-        "speedup": round(t_base / t_opt, 3),
+        "simplan_s": round(t_simplan, 3),
+        "batched_s": round(t_batched, 3),
+        "speedup": round(t_simplan / t_batched, 3),
+        "speedup_vs_reference": round(t_base / t_batched, 3),
         "byte_identical": True,
         "records": sum(len(m.records) for m in ref.matrices),
-        "canonical_sha256_prefix": __import__("hashlib")
-        .sha256(canonical.encode())
-        .hexdigest()[:16],
+        "canonical_sha256_prefix": hashlib.sha256(
+            canonical.encode()
+        ).hexdigest()[:16],
         "per_matrix": per_matrix,
     }
 
@@ -164,13 +196,24 @@ def main(argv=None) -> int:
         payload = run_bench(indices, rounds=rounds, store_dir=Path(store_dir))
 
     print(
-        f"sweep {list(indices)}: baseline {payload['baseline_s']:.2f}s, "
-        f"optimized {payload['optimized_s']:.2f}s "
-        f"-> {payload['speedup']:.2f}x (byte-identical)"
+        f"sweep {list(indices)}: reference {payload['baseline_s']:.2f}s, "
+        f"simplan {payload['simplan_s']:.2f}s, "
+        f"batched {payload['batched_s']:.2f}s "
+        f"-> {payload['speedup']:.2f}x over simplan, "
+        f"{payload['speedup_vs_reference']:.2f}x over reference "
+        f"(byte-identical, sha {payload['canonical_sha256_prefix']})"
     )
+    expected_sha = SMOKE_SHA if args.smoke else CANONICAL_SHA
+    if payload["canonical_sha256_prefix"] != expected_sha:
+        print(
+            f"FAIL: canonical sha {payload['canonical_sha256_prefix']} != "
+            f"pinned {expected_sha}",
+            file=sys.stderr,
+        )
+        return 1
     if args.smoke:
         if payload["speedup"] <= 1.0:
-            print("FAIL: optimized path is not faster", file=sys.stderr)
+            print("FAIL: batched path is not faster", file=sys.stderr)
             return 1
         return 0
 

@@ -288,18 +288,41 @@ class AutoTuner:
         model: str = "overlap",
         candidates: Sequence[Candidate] | None = None,
         nthreads: int = 1,
+        batch: bool = False,
     ) -> CandidateResult:
-        """Pick the best candidate for ``coo`` according to ``model``."""
-        results = evaluate_candidates(
-            coo,
-            self.machine,
-            precision,
-            candidates=candidates,
-            models=(model,),
-            profile_cache=self.profile_cache,
-            run_simulation=False,
-            nthreads=nthreads,
-        )
+        """Pick the best candidate for ``coo`` according to ``model``.
+
+        ``batch=True`` evaluates through the whole-matrix array program
+        (:class:`repro.machine.batch.MatrixProgram`) — same selection,
+        bit-identical predictions, one fused planning pass instead of a
+        per-candidate conversion loop.
+        """
+        if batch:
+            # Imported lazily: machine.batch sits above this module.
+            from ..machine.batch import MatrixProgram
+
+            if candidates is None:
+                candidates = candidate_space()
+            program = MatrixProgram(
+                coo,
+                self.machine,
+                candidates,
+                profile_cache=self.profile_cache,
+            )
+            results = program.evaluate(
+                precision, nthreads, candidates, models=(model,)
+            )
+        else:
+            results = evaluate_candidates(
+                coo,
+                self.machine,
+                precision,
+                candidates=candidates,
+                models=(model,),
+                profile_cache=self.profile_cache,
+                run_simulation=False,
+                nthreads=nthreads,
+            )
         return select_with_model(results, model)
 
     def build(

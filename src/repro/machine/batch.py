@@ -1,0 +1,806 @@
+"""Batch-fused whole-matrix candidate evaluation: one array program per matrix.
+
+The sweep evaluates ~105 candidates per matrix, and PR 3's :class:`SimPlan`
+already memoizes everything that is shared *within* one candidate's cells.
+What remained Python-shaped was the work *across* candidates:
+
+* every block shape re-analysed the same nonzero pattern from scratch
+  (``bcsr_block_stats`` / ``bcsd_block_stats`` are ~15 full passes over the
+  nnz-sized index arrays each, plus a stable argsort for ``r > 1``), and
+* every (candidate, precision, threads) cell assembled its scalar timing
+  terms in a separate Python-level ``simulate`` call.
+
+This module turns both into array programs:
+
+:func:`plan_structures` is the **fused structural planning pass**: one call
+analyses *all* requested blockings of a matrix.  The key observation is
+that the simulator consumes only block *cardinalities* — every cost on the
+x-resident evaluation path (``working_set``, ``block_row_cycles``,
+``stored_per_block_row``, the partitioner) is pointer-diff / count
+arithmetic; column-index *values* are read only by the x-miss estimator
+(out-of-cache matrices) and the kernels.  So the pass computes the
+cardinalities eagerly by *sparse coarsening*: for an ``r x c`` blocking,
+the count of nonzeros per block is the single C-level sparse product
+``R_r @ A @ C_c`` where ``A`` is the 0/1 pattern in CSR and ``R_r`` /
+``C_c`` are the row/column aggregation maps; diagonal blockings coarsen a
+column-shifted pattern (``d = col - row``) the same way, and ``R_r @ A``
+is shared across widths of one height.  Index values (block columns,
+diagonal starts, decomposition-remainder columns) are materialized
+*lazily* on first access, reproducing the per-call converters' arrays
+bit-for-bit.  The decomposed variants' CSR remainders are derived
+arithmetically (``nnz_per_row - c * full_blocks_per_block_row``).  The
+outputs are ordinary format objects (lazily-materializing subclasses),
+**bit-identical** (array-for-array) to what ``build_candidate`` constructs
+once read — the per-call converters remain the executable specification,
+pinned by the equivalence tests.
+
+:class:`MatrixProgram` is the **batched cell evaluator**: it stacks every
+per-cell scalar of ``SimPlan.run`` and of the MEM/MEMCOMP/OVERLAP
+predictors — working sets, streaming-loss factors, per-part exposure
+fractions, segment sums, x-miss counts, profiled block times — into arrays
+over a *cells axis* and evaluates all candidates of one (precision,
+threads) plane with a handful of vectorized reductions.  Bit-identity holds
+because every float operation is elementwise with the same operands in the
+same order as the scalar path: IEEE 754 arithmetic is deterministic per
+element, NumPy float64 elementwise ops are exactly Python-float ops, and
+the only reductions used (``max``) are exact.  Order-sensitive float
+accumulations — the per-structure ``cumsum`` segment sums — are *not*
+re-associated: they stay per-(structure, impl, threads) inside the shared
+:class:`SimPlan` memos.
+
+``executor.simulate`` / ``SimPlan.run`` remain the per-call executable
+spec; ``repro sweep --compare-batched`` diffs the two paths record by
+record.  See ``docs/batching.md`` for the layout and the bit-identity
+argument.
+
+This module is deterministic model code: it must not read the wall clock
+(lint rule ``determinism``).  Phase timings are charged through an injected
+``clock`` callable supplied by the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..core.candidates import Candidate, unique_structures
+from ..core.selection import CandidateResult, build_candidate
+from ..errors import ModelError
+from ..formats.base import SparseFormat
+from ..formats.bcsd import BCSDMatrix
+from ..formats.bcsr import BCSRMatrix
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..formats.decomposed import DecomposedMatrix
+from ..formats.vbl import VBLMatrix
+from ..types import VBL_MAX_BLOCK, BlockShape, Impl, Precision
+from .machine import MachineModel
+from .plan import SimPlan, SimResult, get_plan
+
+__all__ = ["plan_structures", "MatrixProgram"]
+
+#: Model names whose batched predictors this module implements.
+_MODEL_NAMES = ("mem", "memcomp", "overlap")
+_PROFILED_MODELS = ("memcomp", "overlap")
+
+#: Pattern sizes must fit scipy's 32-bit index machinery comfortably.
+_INT32_LIMIT = 2**31
+
+
+# --------------------------------------------------------------------------- #
+# The fused structural planning pass
+# --------------------------------------------------------------------------- #
+
+def _ptr_from_counts(counts: np.ndarray, n_rows: int) -> np.ndarray:
+    """Same construction as the per-format converters (bincount + cumsum)."""
+    ptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    return ptr
+
+
+class _Coarse:
+    """One blocking's coarse count matrix, shared by its consumers.
+
+    ``mat[I, J]`` is the number of matrix nonzeros falling in block
+    ``(I, J)`` — a CSR over block coordinates produced by one sparse
+    matmat.  Its indices are unsorted within rows until :meth:`sorted`
+    is first needed; the in-place sort reorders the counts alongside, so
+    eager consumers (cardinalities, full-block counts per row) read the
+    matmul order and lazy ones the converters' sorted order.  Both
+    orders agree on everything row-granular.
+    """
+
+    __slots__ = ("mat", "_sorted")
+
+    def __init__(self, mat) -> None:
+        self.mat = mat
+        self._sorted: tuple[np.ndarray, np.ndarray] | None = None
+
+    def sorted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._sorted is None:
+            self.mat.sort_indices()
+            self._sorted = (self.mat.indices, self.mat.data)
+        return self._sorted
+
+    def block_rows(self) -> np.ndarray:
+        """Block-row index of every block, in sorted == matmul order."""
+        m = self.mat
+        return np.repeat(
+            np.arange(m.shape[0], dtype=np.int64), np.diff(m.indptr)
+        )
+
+
+def _full_rows(co: _Coarse, full_count: int) -> tuple[int, np.ndarray]:
+    """(number, per-block-row count) of exactly-full blocks.
+
+    Counted by differencing a running sum of the full-block mask at the
+    row-pointer boundaries — no per-block row lookup.
+    """
+    m = co.mat
+    csum = np.zeros(m.data.shape[0] + 1, dtype=np.int64)
+    np.cumsum(m.data == full_count, out=csum[1:])
+    per_row = csum[m.indptr[1:]] - csum[m.indptr[:-1]]
+    return int(csum[-1]), per_row
+
+
+def _sorted_bcol_thunk(co: _Coarse) -> Callable[[], np.ndarray]:
+    def thunk() -> np.ndarray:
+        return co.sorted()[0]
+
+    return thunk
+
+
+def _full_bcol_thunk(co: _Coarse, full_count: int) -> Callable[[], np.ndarray]:
+    def thunk() -> np.ndarray:
+        idx, cnt = co.sorted()
+        return idx[cnt == full_count]
+
+    return thunk
+
+
+def _diag_j0_thunk(
+    co: _Coarse, b: int, nrows: int, full_count: int | None = None
+) -> Callable[[], np.ndarray]:
+    """BCSD block start columns: ``j0 = d + seg*b`` with ``d`` the stored,
+    shifted diagonal index.  Sorted-by-(seg, d) equals the converter's
+    sorted-by-(seg, j0) because ``j0`` is monotone in ``d`` within a
+    segment."""
+
+    def thunk() -> np.ndarray:
+        idx, cnt = co.sorted()
+        j0 = idx.astype(np.int64) + (co.block_rows() * b - (nrows - 1))
+        return j0 if full_count is None else j0[cnt == full_count]
+
+    return thunk
+
+
+def _rect_rest_thunk(
+    co: _Coarse, rows: np.ndarray, cols: np.ndarray, r: int, c: int
+) -> Callable[[], np.ndarray]:
+    """Columns of the nonzeros outside full ``r x c`` blocks, in canonical
+    order: each element looks up its own block's count by binary search on
+    the (block row, block col) key, which is globally sorted."""
+
+    def thunk() -> np.ndarray:
+        idx, cnt = co.sorted()
+        n_bcols = np.int64(co.mat.shape[1])
+        bkey = co.block_rows() * n_bcols + idx
+        ekey = (rows // r) * n_bcols + cols // c
+        return cols[cnt[np.searchsorted(bkey, ekey)] != r * c]
+
+    return thunk
+
+
+def _diag_rest_thunk(
+    co: _Coarse, rows: np.ndarray, cols: np.ndarray, b: int,
+    nrows: int, ncols: int,
+) -> Callable[[], np.ndarray]:
+    def thunk() -> np.ndarray:
+        idx, cnt = co.sorted()
+        span = np.int64(nrows + ncols - 1)
+        bkey = co.block_rows() * span + idx
+        ekey = (rows // b) * span + (cols - rows + (nrows - 1))
+        return cols[cnt[np.searchsorted(bkey, ekey)] != b]
+
+    return thunk
+
+
+class _LazyIndexValues:
+    """Deferred column-index values for the fused planning pass.
+
+    The x-resident evaluation path never reads index *values* — every
+    cost it consumes is pointer-diff / count arithmetic — so the fused
+    pass stores only a thunk that reproduces the per-call converter's
+    array bit-for-bit and materializes it on first access (the x-miss
+    estimator of out-of-cache matrices, the kernels, the equivalence
+    tests)."""
+
+    _thunk: Callable[[], np.ndarray] | None
+
+    def _materialize(self, expected_len: int) -> np.ndarray:
+        cached = self.__dict__.get("_lazy_values")
+        if cached is None:
+            cached = np.asarray(self._thunk(), dtype=np.int64)
+            if cached.shape[0] != expected_len:
+                raise ModelError(
+                    f"lazy index materialization produced "
+                    f"{cached.shape[0]} entries, expected {expected_len}"
+                )
+            self.__dict__["_lazy_values"] = cached
+            self._thunk = None
+        return cached
+
+
+class _LazyCSR(CSRMatrix, _LazyIndexValues):
+    """Structure-only CSR whose ``col_ind`` materializes on first read.
+
+    Bypasses the parent constructor (its bracket checks read ``col_ind``);
+    the planning arithmetic guarantees ``row_ptr[-1] == nnz`` exactly.
+    """
+
+    def __init__(self, nrows, ncols, row_ptr, nnz, thunk) -> None:
+        SparseFormat.__init__(self, int(nrows), int(ncols), int(nnz))
+        self.row_ptr = row_ptr
+        self.values = None
+        self._thunk = thunk
+
+    @property
+    def col_ind(self) -> np.ndarray:
+        return self._materialize(self.nnz)
+
+
+class _LazyBCSR(BCSRMatrix, _LazyIndexValues):
+    """Structure-only BCSR whose ``bcol_ind`` materializes on first read."""
+
+    def __init__(
+        self, nrows, ncols, block, brow_ptr, nnz, n_blocks, thunk
+    ) -> None:
+        SparseFormat.__init__(self, int(nrows), int(ncols), int(nnz))
+        self.block = block
+        self.brow_ptr = brow_ptr
+        self.bval = None
+        self._n_blocks = int(n_blocks)
+        self._thunk = thunk
+
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def bcol_ind(self) -> np.ndarray:
+        return self._materialize(self._n_blocks)
+
+
+class _LazyBCSD(BCSDMatrix, _LazyIndexValues):
+    """Structure-only BCSD whose ``bcol_ind`` materializes on first read."""
+
+    def __init__(self, nrows, ncols, b, brow_ptr, nnz, n_blocks, thunk) -> None:
+        SparseFormat.__init__(self, int(nrows), int(ncols), int(nnz))
+        self.b = int(b)
+        self.brow_ptr = brow_ptr
+        self.bval = None
+        self._n_blocks = int(n_blocks)
+        self._thunk = thunk
+
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def bcol_ind(self) -> np.ndarray:
+        return self._materialize(self._n_blocks)
+
+
+def _vbl_fused(
+    coo: COOMatrix, nnz_per_row: np.ndarray, row_ptr: np.ndarray
+) -> VBLMatrix:
+    """``VBLMatrix.from_coo(coo, with_values=False)``, with the 255-element
+    run splitting done per *run* instead of per element (identical arrays;
+    the converter remains the spec, pinned by the equivalence tests)."""
+    rows, cols, n = coo.rows, coo.cols, coo.nnz
+    brk = np.empty(n, dtype=bool)
+    brk[0] = True
+    np.not_equal(rows[1:], rows[:-1], out=brk[1:])
+    brk[1:] |= cols[1:] != (cols[:-1] + 1)
+    run_first = np.flatnonzero(brk)
+    sizes0 = np.diff(run_first, append=n)
+    if sizes0.max() > VBL_MAX_BLOCK:
+        nsplit = -(-sizes0 // VBL_MAX_BLOCK)
+        total = int(nsplit.sum())
+        base = np.repeat(run_first, nsplit)
+        k = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(nsplit) - nsplit, nsplit
+        )
+        first_idx = base + k * VBL_MAX_BLOCK
+    else:
+        first_idx = run_first
+    bcol_ind = cols[first_idx]
+    sizes = np.diff(first_idx, append=n).astype(np.uint8)
+    block_row_ptr = _ptr_from_counts(
+        np.bincount(rows[first_idx], minlength=coo.nrows), coo.nrows
+    )
+    return VBLMatrix(
+        coo.nrows, coo.ncols, row_ptr, bcol_ind, sizes, block_row_ptr, None
+    )
+
+
+def plan_structures(
+    coo: COOMatrix,
+    structures: Iterable[tuple[str, tuple[int, int] | int | None]],
+    *,
+    timings: dict | None = None,
+    clock: Callable[[], float] | None = None,
+) -> dict[tuple, SparseFormat]:
+    """Build every requested ``(kind, block)`` structure in one fused pass.
+
+    Returns a dict usable as the sweep's ``fmt_cache``.  Array-for-array
+    identical to :func:`repro.core.selection.build_candidate` run per
+    structure (the equivalence tests pin this).  ``timings``/``clock``
+    charge the coarsening to ``"stats"`` and the object assembly to
+    ``"convert"``, mirroring the per-call path's phase accounting.
+    """
+    structures = list(dict.fromkeys(structures))
+    out: dict[tuple, SparseFormat] = {}
+    if coo.nnz == 0 or max(coo.nrows, coo.ncols, coo.nnz) >= _INT32_LIMIT:
+        # Degenerate or >int32 patterns: nothing to coarsen (or scipy's
+        # 32-bit fast path is off the table); defer to the per-structure
+        # builders (identical by construction).
+        for kind, block in structures:
+            out[(kind, block)] = build_candidate(
+                coo, Candidate(kind, block, Impl.SCALAR)
+            )
+        return out
+
+    now = clock if (clock is not None and timings is not None) else None
+
+    def charge(phase: str, t0: float) -> float:
+        t1 = now()
+        timings[phase] = timings.get(phase, 0.0) + t1 - t0
+        return t1
+
+    rows, cols, n = coo.rows, coo.cols, coo.nnz
+    nrows, ncols = coo.nrows, coo.ncols
+
+    t0 = now() if now else 0.0
+    nnz_per_row = np.bincount(rows, minlength=nrows)
+    row_ptr = _ptr_from_counts(nnz_per_row, nrows)
+
+    rect_shapes = {b for k, b in structures if k in ("bcsr", "bcsr_dec")}
+    diag_sizes = {b for k, b in structures if k in ("bcsd", "bcsd_dec")}
+
+    # ---- coarsen: one sparse matmat per blocking, R_r @ A shared ---------- #
+    coarse: dict[tuple, _Coarse] = {}
+    if rect_shapes or diag_sizes:
+        ones = np.ones(n, dtype=np.int32)
+        indptr32 = row_ptr.astype(np.int32)
+        A = _sp.csr_matrix(
+            (ones, cols.astype(np.int32), indptr32),
+            shape=(nrows, ncols), copy=False,
+        )
+        heights = {r for r, _ in rect_shapes if r > 1} | {
+            b for b in diag_sizes if b > 1
+        }
+        row_ones = np.ones(nrows, dtype=np.int32)
+        row_idx = np.arange(nrows, dtype=np.int32)
+        aggregate = {}
+        for h in heights:
+            n_h = -(-nrows // h)
+            ptr = np.minimum(
+                np.arange(n_h + 1, dtype=np.int64) * h, nrows
+            ).astype(np.int32)
+            aggregate[h] = _sp.csr_matrix(
+                (row_ones, row_idx, ptr), shape=(n_h, nrows), copy=False
+            )
+        if rect_shapes:
+            col_ones = np.ones(ncols, dtype=np.int32)
+            col_ptr = np.arange(ncols + 1, dtype=np.int32)
+            group = {}
+            for c in {c for _, c in rect_shapes if c > 1}:
+                group[c] = _sp.csr_matrix(
+                    (col_ones, (np.arange(ncols, dtype=np.int32) // c), col_ptr),
+                    shape=(ncols, -(-ncols // c)), copy=False,
+                )
+            for r in sorted({r for r, _ in rect_shapes}):
+                coarse_rows = (aggregate[r] @ A) if r > 1 else A
+                for c in sorted({c for rr, c in rect_shapes if rr == r}):
+                    mat = (coarse_rows @ group[c]) if c > 1 else coarse_rows
+                    coarse[("rect", (r, c))] = _Coarse(mat)
+        if diag_sizes:
+            # Shift columns so every diagonal gets its own coarse column:
+            # block (segment s, diagonal d) <-> entry (s, d + nrows - 1).
+            shifted = _sp.csr_matrix(
+                (ones, (cols - rows + (nrows - 1)).astype(np.int32), indptr32),
+                shape=(nrows, nrows + ncols - 1), copy=False,
+            )
+            for b in sorted(diag_sizes):
+                mat = (aggregate[b] @ shifted) if b > 1 else shifted
+                coarse[("diag", b)] = _Coarse(mat)
+    if now:
+        t0 = charge("stats", t0)
+
+    # ---- assemble the format objects -------------------------------------- #
+    for kind, block in structures:
+        if kind == "csr":
+            out[(kind, block)] = CSRMatrix(nrows, ncols, row_ptr, cols, None)
+        elif kind == "vbl":
+            out[(kind, block)] = _vbl_fused(coo, nnz_per_row, row_ptr)
+        elif kind == "bcsr":
+            r, c = block
+            co = coarse[("rect", block)]
+            out[(kind, block)] = _LazyBCSR(
+                nrows, ncols, BlockShape(r, c),
+                co.mat.indptr.astype(np.int64), n,
+                co.mat.indices.shape[0], _sorted_bcol_thunk(co),
+            )
+        elif kind == "bcsd":
+            b = block
+            co = coarse[("diag", b)]
+            out[(kind, block)] = _LazyBCSD(
+                nrows, ncols, b, co.mat.indptr.astype(np.int64), n,
+                co.mat.indices.shape[0], _diag_j0_thunk(co, b, nrows),
+            )
+        elif kind == "bcsr_dec":
+            r, c = block
+            co = coarse[("rect", block)]
+            rc = r * c
+            n_brows = co.mat.shape[0]
+            n_full, full_per_brow = _full_rows(co, rc)
+            parts: list[SparseFormat] = []
+            if n_full:
+                parts.append(_LazyBCSR(
+                    nrows, ncols, BlockShape(r, c),
+                    _ptr_from_counts(full_per_brow, n_brows),
+                    n_full * rc, n_full, _full_bcol_thunk(co, rc),
+                ))
+            n_rest = n - n_full * rc
+            if n_rest or not parts:
+                if n_full:
+                    # A full r x c block holds c elements of each of its
+                    # r rows, so the remainder's per-row counts are plain
+                    # integer arithmetic.
+                    rest_per_row = (
+                        nnz_per_row - c * np.repeat(full_per_brow, r)[:nrows]
+                    )
+                    parts.append(_LazyCSR(
+                        nrows, ncols, _ptr_from_counts(rest_per_row, nrows),
+                        n_rest, _rect_rest_thunk(co, rows, cols, r, c),
+                    ))
+                else:
+                    parts.append(CSRMatrix(nrows, ncols, row_ptr, cols, None))
+            out[(kind, block)] = DecomposedMatrix(
+                nrows, ncols, parts, "bcsr_dec", "BCSR-DEC"
+            )
+        elif kind == "bcsd_dec":
+            b = block
+            co = coarse[("diag", b)]
+            n_segs = co.mat.shape[0]
+            n_full, full_per_seg = _full_rows(co, b)
+            parts = []
+            if n_full:
+                parts.append(_LazyBCSD(
+                    nrows, ncols, b,
+                    _ptr_from_counts(full_per_seg, n_segs),
+                    n_full * b, n_full,
+                    _diag_j0_thunk(co, b, nrows, full_count=b),
+                ))
+            n_rest = n - n_full * b
+            if n_rest or not parts:
+                if n_full:
+                    # A full diagonal block holds 1 element of each of its
+                    # b segment rows.
+                    rest_per_row = (
+                        nnz_per_row - np.repeat(full_per_seg, b)[:nrows]
+                    )
+                    parts.append(_LazyCSR(
+                        nrows, ncols, _ptr_from_counts(rest_per_row, nrows),
+                        n_rest, _diag_rest_thunk(co, rows, cols, b, nrows, ncols),
+                    ))
+                else:
+                    parts.append(CSRMatrix(nrows, ncols, row_ptr, cols, None))
+            out[(kind, block)] = DecomposedMatrix(
+                nrows, ncols, parts, "bcsd_dec", "BCSD-DEC"
+            )
+        else:
+            raise ModelError(f"cannot plan structure kind {kind!r}")
+    if now:
+        charge("convert", t0)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# The batched cell evaluator
+# --------------------------------------------------------------------------- #
+
+def _x_span(cand: Candidate) -> int | None:
+    """Upper bound on how far past the matrix's largest column index the
+    candidate's x-access streams can reach, or ``None`` for kinds without
+    a known bound.
+
+    Every stream start is anchored at (or below) some stored element's
+    column: CSR/CSR-DU starts *are* element columns, a 1D-VBL run ends on
+    its last element's column, an aligned ``r x c`` block starts at
+    ``(col // c) * c`` and touches ``c`` columns, and a diagonal block of
+    size ``b`` starts at the column of its first stored element or
+    earlier and touches ``b``.  So the largest line id any part's stream
+    can reach is ``(max_col + span - 1) // line_elems``.
+    """
+    if cand.kind in ("csr", "csr_du", "vbl"):
+        return 1
+    if cand.kind in ("bcsr", "bcsr_dec", "ubcsr"):
+        return int(cand.block[1])  # (r, c) tuple or BlockShape
+    if cand.kind in ("bcsd", "bcsd_dec"):
+        return int(cand.block)
+    return None
+
+
+class MatrixProgram:
+    """All sweep cells of one matrix as a vectorized array program.
+
+    Built once per matrix: the fused planning pass constructs every
+    candidate structure, and :meth:`evaluate` batch-evaluates one
+    (precision, threads) plane of cells — the candidate loop is an array
+    axis.  The per-structure :class:`SimPlan` memos (row costs, partitions,
+    ``cumsum`` segment sums, x-miss estimates) are shared with the per-call
+    path, so the two paths agree bit-for-bit by construction everywhere the
+    arithmetic is order-sensitive.
+    """
+
+    def __init__(
+        self,
+        coo: COOMatrix,
+        machine: MachineModel,
+        candidates: Sequence[Candidate],
+        *,
+        profile_cache=None,
+        timings: dict | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.coo = coo
+        self.machine = machine
+        self.profile_cache = profile_cache
+        self._timings = timings
+        self._clock = clock if timings is not None else None
+        self.fmt_cache = plan_structures(
+            coo, unique_structures(candidates), timings=timings, clock=clock
+        )
+        # Largest column index any candidate structure can anchor an
+        # x access at — feeds the whole-matrix x-miss shortcut below.
+        self._max_col = int(coo.cols.max()) if coo.nnz else -1
+
+    def _charge(self, phase: str, t0: float) -> None:
+        if self._clock is not None:
+            self._timings[phase] = (
+                self._timings.get(phase, 0.0) + self._clock() - t0
+            )
+
+    def _plan(self, cand: Candidate, precision: Precision) -> SimPlan:
+        return get_plan(
+            self.fmt_cache[(cand.kind, cand.block)], self.machine, precision
+        )
+
+    def _zero_misses(self, cand: Candidate, plan: SimPlan) -> bool:
+        """Whole-matrix form of the plan's exact x-miss shortcuts.
+
+        ``_estimate_part_misses`` returns 0 for every part whenever the
+        budget is non-positive, the stream is empty, or the largest
+        reachable cache line fits the budget — and :func:`_x_span` bounds
+        that largest line for *all* parts of the candidate at once from
+        the matrix's max column.  When the bound holds,
+        ``plan.total_misses()`` is provably 0, so returning 0 without
+        calling it is bit-identical — and never forces a lazily-planned
+        structure to materialize its index values.  When it does not
+        hold (or the kind is unknown), the caller falls back to
+        ``total_misses()`` itself.
+        """
+        if self._max_col < 0 or plan.budget <= 0:
+            return True
+        span = _x_span(cand)
+        if span is None:
+            return False
+        max_line = (self._max_col + span - 1) // plan.line_elems
+        return max_line + 1 <= plan.budget
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        precision: Precision | str,
+        nthreads: int,
+        candidates: Sequence[Candidate],
+        *,
+        models: Iterable[str] = (),
+    ) -> list[CandidateResult]:
+        """Evaluate one (precision, threads) plane of cells, vectorized.
+
+        Returns one :class:`~repro.core.selection.CandidateResult` per
+        candidate, in candidate order; ``models`` names the predictors to
+        attach (MEMCOMP/OVERLAP skip candidates they do not cover, as in
+        the paper).  Bit-identical to per-cell ``SimPlan.run`` plus
+        ``MODELS[...].predict``.
+        """
+        machine = self.machine
+        precision = Precision.coerce(precision)
+        if nthreads < 1 or nthreads > machine.max_threads:
+            raise ModelError(
+                f"nthreads={nthreads} outside 1..{machine.max_threads} "
+                f"for machine {machine.name!r}"
+            )
+        t0 = self._clock() if self._clock else 0.0
+        plans = [self._plan(cand, precision) for cand in candidates]
+        ncells = len(plans)
+        costs = machine.costs
+
+        # --- the memory axis: ws / stream bandwidth (+ streaming loss) --- #
+        ws_int = np.array([p.ws for p in plans], dtype=np.int64)
+        ws_f = ws_int.astype(np.float64)
+        bw = np.where(
+            ws_int <= machine.l1.size_bytes,
+            machine.l1.bandwidth_bps,
+            np.where(
+                ws_int <= machine.l2.size_bytes,
+                machine.l2.bandwidth_bps,
+                machine.memory_bandwidth(nthreads),
+            ),
+        )
+        t_mem = ws_f / bw
+        factor = np.array(
+            [1.0 if p.mem_factor is None else p.mem_factor for p in plans]
+        )
+        has_factor = np.array([p.mem_factor is not None for p in plans])
+        t_mem = np.where(has_factor, t_mem * factor, t_mem)
+
+        # --- the compute axis: per-part exposure, stacked over cells ----- #
+        overlappable = np.zeros((ncells, nthreads))
+        exposed = np.zeros((ncells, nthreads))
+        max_parts = max((len(p.parts) for p in plans), default=0)
+        for slot in range(max_parts):
+            idx, etas, per_thread = [], [], []
+            for j, (cand, plan) in enumerate(zip(candidates, plans)):
+                if slot >= len(plan.parts):
+                    continue
+                part = plan.parts[slot]
+                part_impl = costs.effective_impl(part, cand.impl)
+                idx.append(j)
+                etas.append(machine.eta(part_impl))
+                per_thread.append(
+                    plan.segment_sums(slot, part, part_impl, nthreads)
+                )
+            sel = np.array(idx, dtype=np.int64)
+            eta = np.array(etas, dtype=np.float64)[:, None]
+            pt = np.stack(per_thread)
+            overlappable[sel] += (1.0 - eta) * pt
+            exposed[sel] += eta * pt
+
+        startup = np.array([p.startup for p in plans], dtype=np.float64)
+        exposed = exposed + startup[:, None]
+        t_overlappable = overlappable.max(axis=1) / machine.clock_hz
+        exposed_s = exposed.max(axis=1) / machine.clock_hz
+
+        # --- the latency axis -------------------------------------------- #
+        misses = np.array(
+            [
+                0
+                if p.x_resident or self._zero_misses(cand, p)
+                else p.total_misses()
+                for cand, p in zip(candidates, plans)
+            ],
+            dtype=np.int64,
+        )
+        t_lat = misses / nthreads * machine.effective_latency_s()
+
+        t_total = np.maximum(t_mem, t_overlappable) + exposed_s + t_lat
+        t_comp = t_overlappable + exposed_s
+        self._charge("simulate", t0)
+
+        cells = [
+            CandidateResult(
+                candidate=cand,
+                ws_bytes=plan.ws,
+                padding_ratio=plan.fmt.padding_ratio,
+                n_blocks=plan.fmt.n_blocks,
+                sim=SimResult(
+                    t_total=float(t_total[j]),
+                    t_mem=float(t_mem[j]),
+                    t_comp=float(t_comp[j]),
+                    t_comp_exposed=float(exposed_s[j]),
+                    t_latency=float(t_lat[j]),
+                    ws_bytes=plan.ws,
+                    x_misses=int(misses[j]),
+                    nthreads=nthreads,
+                    precision=precision,
+                    impl=cand.impl,
+                ),
+            )
+            for j, (cand, plan) in enumerate(zip(candidates, plans))
+        ]
+        models = tuple(models)
+        if models:
+            self._predict(cells, plans, precision, nthreads, models, ws_f)
+        return cells
+
+    # ------------------------------------------------------------------ #
+    def _predict(
+        self,
+        cells: list[CandidateResult],
+        plans: list[SimPlan],
+        precision: Precision,
+        nthreads: int,
+        models: tuple[str, ...],
+        ws_f: np.ndarray,
+    ) -> None:
+        """Attach MEM/MEMCOMP/OVERLAP predictions, vectorized over cells."""
+        machine = self.machine
+        unknown = set(models) - set(_MODEL_NAMES)
+        if unknown:
+            raise ModelError(f"no batched predictor for models {sorted(unknown)}")
+        profiled = tuple(m for m in models if m in _PROFILED_MODELS)
+        # Fetched before the phase timer starts: the per-cell path
+        # calibrates outside its phase windows too.
+        profile = self._profile(precision) if profiled else None
+        t0 = self._clock() if self._clock else 0.0
+        bw = machine.memory_bandwidth(nthreads)
+        if "mem" in models:
+            pred_mem = ws_f / bw
+        covered: list[int] = []
+        if profiled:
+            # MEMCOMP/OVERLAP only cover fixed-size blockings (the paper
+            # excludes 1D-VBL); a missing or mismatched profile omits their
+            # predictions, exactly like the per-cell ModelError path.
+            if profile is not None and profile.precision is precision:
+                covered = [
+                    j for j, p in enumerate(plans)
+                    if all(
+                        part.block_descriptor()[0] not in ("vbl", "vbr")
+                        for part in p.parts
+                    )
+                ]
+        if covered:
+            acc = {m: np.zeros(len(covered)) for m in profiled}
+            max_parts = max(len(plans[j].parts) for j in covered)
+            for slot in range(max_parts):
+                sel, ws_i, nb, t_b, nof = [], [], [], [], []
+                for i, j in enumerate(covered):
+                    plan = plans[j]
+                    if slot >= len(plan.parts):
+                        continue
+                    part = plan.parts[slot]
+                    part_impl = machine.costs.effective_impl(
+                        part, cells[j].candidate.impl
+                    )
+                    sel.append(i)
+                    ws_i.append(
+                        part.working_set_matrix_only(precision)
+                        + part.vector_bytes(precision)
+                    )
+                    nb.append(part.n_blocks)
+                    t_b.append(profile.block_time(part, part_impl))
+                    if "overlap" in profiled:
+                        nof.append(profile.nof_factor(part, part_impl))
+                sel_a = np.array(sel, dtype=np.int64)
+                ws_a = np.array(ws_i, dtype=np.float64)
+                nb_a = np.array(nb, dtype=np.float64)
+                tb_a = np.array(t_b, dtype=np.float64)
+                if "memcomp" in acc:
+                    acc["memcomp"][sel_a] += ws_a / bw + nb_a * tb_a
+                if "overlap" in acc:
+                    nof_a = np.array(nof, dtype=np.float64)
+                    acc["overlap"][sel_a] += ws_a / bw + nof_a * nb_a * tb_a
+        for m in models:
+            if m == "mem":
+                for j, cell in enumerate(cells):
+                    cell.predictions[m] = float(pred_mem[j])
+            elif covered:
+                for i, j in enumerate(covered):
+                    cells[j].predictions[m] = float(acc[m][i])
+        self._charge("models", t0)
+
+    def _profile(self, precision: Precision):
+        from ..core.profiling import DEFAULT_PROFILE_CACHE
+
+        cache = (
+            self.profile_cache
+            if self.profile_cache is not None
+            else DEFAULT_PROFILE_CACHE
+        )
+        return cache.get(self.machine, precision)

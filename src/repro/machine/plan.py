@@ -50,7 +50,13 @@ from ..types import Impl, Precision
 from .cache import estimate_stream_misses, x_budget_lines
 from .machine import MachineModel
 
-__all__ = ["SimResult", "SimPlan", "get_plan"]
+__all__ = ["SimResult", "SimPlan", "get_plan", "MAX_PLANS_PER_FORMAT"]
+
+#: Per-format cap on cached plans.  One sweep touches at most a few
+#: (machine, precision) pairs per structure, but long-lived advisor/fleet
+#: processes see many machines over time; the memo is LRU-bounded so format
+#: objects cannot grow without bound.
+MAX_PLANS_PER_FORMAT = 8
 
 
 @dataclass(frozen=True)
@@ -197,10 +203,15 @@ class SimPlan:
         self._misses: int | None = None
 
     # ------------------------------------------------------------------ #
-    def _segment_sums(
+    def segment_sums(
         self, i: int, part: SparseFormat, part_impl: Impl, nthreads: int
     ) -> np.ndarray:
-        """Per-thread compute cycles of part ``i`` under ``part_impl``."""
+        """Per-thread compute cycles of part ``i`` under ``part_impl``.
+
+        Public because :mod:`repro.machine.batch` stacks these per-cell
+        vectors across the candidate axis; the order-sensitive ``cumsum``
+        stays in here, per (structure, impl, threads).
+        """
         key = (i, part_impl, nthreads)
         out = self._per_thread.get(key)
         if out is None:
@@ -222,7 +233,7 @@ class SimPlan:
             self._per_thread[key] = out
         return out
 
-    def _total_misses(self) -> int:
+    def total_misses(self) -> int:
         """x-miss estimate summed over parts (precision-fixed per plan)."""
         if self._misses is None:
             self._misses = sum(
@@ -260,14 +271,14 @@ class SimPlan:
             # runs: a CSR remainder of a SIMD decomposition stays scalar.
             part_impl = costs.effective_impl(part, impl)
             eta_part = machine.eta(part_impl)
-            per_thread = self._segment_sums(i, part, part_impl, nthreads)
+            per_thread = self.segment_sums(i, part, part_impl, nthreads)
             for t in range(nthreads):
                 overlappable_cycles[t] += (1.0 - eta_part) * float(per_thread[t])
                 exposed_cycles[t] += eta_part * float(per_thread[t])
         if self.x_resident or zero_col_ind:
             total_misses = 0
         else:
-            total_misses = self._total_misses()
+            total_misses = self.total_misses()
 
         exposed_cycles = [c + self.startup for c in exposed_cycles]
         t_overlappable = machine.cycles_to_seconds(max(overlappable_cycles))
@@ -306,11 +317,16 @@ def get_plan(
     Plans are memoised on the format object keyed by (machine identity,
     precision) — the same lifetime as the format's x-miss memo, so the
     sweep's shared ``fmt_cache`` automatically shares plans across cells.
+    The memo is LRU-bounded to :data:`MAX_PLANS_PER_FORMAT` entries (dict
+    insertion order is the recency order) so long-lived processes that see
+    many machines do not grow format objects without bound.
     """
     plans = fmt.__dict__.setdefault("_sim_plans", {})
     key = (id(machine), Precision.coerce(precision))
-    plan = plans.get(key)
+    plan = plans.pop(key, None)
     if plan is None:
         plan = SimPlan(fmt, machine, key[1])
-        plans[key] = plan
+        if len(plans) >= MAX_PLANS_PER_FORMAT:
+            del plans[next(iter(plans))]
+    plans[key] = plan
     return plan

@@ -1,0 +1,234 @@
+"""Equivalence suite for the batched whole-matrix array program.
+
+The contract of :mod:`repro.machine.batch` is bit-identity, not closeness:
+every structure the fused planning pass builds must match the per-call
+converters array-for-array, and every cell :class:`MatrixProgram` evaluates
+must match the per-cell ``SimPlan.run`` / model-predict path float-for-
+float.  All comparisons here are exact (``==`` on dataclasses, dtype-aware
+``array_equal`` on arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import (
+    MODEL_NAMES,
+    MatrixSweep,
+    SweepConfig,
+    SweepRecord,
+    SweepResult,
+    diff_sweep_results,
+)
+from repro.core.candidates import Candidate, candidate_space, unique_structures
+from repro.core.profiling import ProfileCache
+from repro.core.selection import AutoTuner, build_candidate, evaluate_candidates
+from repro.formats.coo import COOMatrix
+from repro.machine.batch import MatrixProgram, plan_structures
+from repro.machine.plan import MAX_PLANS_PER_FORMAT, get_plan
+from repro.types import Impl, Precision
+
+from .conftest import make_random_coo
+
+CANDIDATES = candidate_space(max_block_elems=4)
+STRUCTURES = unique_structures(CANDIDATES)
+
+
+@pytest.fixture(scope="module")
+def profile_cache_both(machine, profile_dp, profile_sp):
+    """A cache pre-seeded with both precisions (no test-time calibration)."""
+    cache = ProfileCache()
+    cache._cache[(id(machine), Precision.DP, False)] = profile_dp
+    cache._cache[(id(machine), Precision.SP, False)] = profile_sp
+    return cache
+
+
+# The structural attributes of each format kind.  Comparison is
+# attribute-based rather than ``type``/``vars``-based because the fused
+# pass may return lazily-materializing subclasses: *reading* the index
+# attributes here forces materialization, which must then match the
+# per-call converter's arrays bit-for-bit.
+_FORMAT_ATTRS = {
+    "csr": ("row_ptr", "col_ind", "values"),
+    "vbl": ("row_ptr", "bcol_ind", "blk_size", "block_row_ptr", "values"),
+    "bcsr": ("block", "brow_ptr", "bcol_ind", "bval"),
+    "bcsd": ("b", "brow_ptr", "bcol_ind", "bval"),
+}
+
+
+def assert_same_format(a, b) -> None:
+    """Exact structural equality: same kind, same arrays bit-for-bit."""
+    assert a.kind == b.kind
+    assert a.shape == b.shape
+    assert a.nnz == b.nnz
+    assert a.nnz_stored == b.nnz_stored
+    assert a.n_blocks == b.n_blocks
+    if a.kind in ("bcsr_dec", "bcsd_dec", "decomposed"):
+        assert a.display_name == b.display_name
+        assert len(a.parts) == len(b.parts)
+        for pa, pb in zip(a.parts, b.parts):
+            assert_same_format(pa, pb)
+        return
+    for key in _FORMAT_ATTRS[a.kind]:
+        va, vb = getattr(a, key), getattr(b, key)
+        if isinstance(va, np.ndarray):
+            assert isinstance(vb, np.ndarray), key
+            assert va.dtype == vb.dtype, key
+            assert np.array_equal(va, vb), key
+        else:
+            assert va == vb, (key, va, vb)
+
+
+@st.composite
+def random_coos(draw, max_dim=120, max_nnz=500):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, min(max_nnz, nrows * ncols)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return make_random_coo(nrows, ncols, nnz, seed=seed, with_values=False)
+
+
+class TestPlanStructures:
+    @given(coo=random_coos())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_per_structure_builders(self, coo):
+        fused = plan_structures(coo, STRUCTURES)
+        assert set(fused) == set(STRUCTURES)
+        for kind, block in STRUCTURES:
+            reference = build_candidate(
+                coo, Candidate(kind, block, Impl.SCALAR)
+            )
+            assert_same_format(fused[(kind, block)], reference)
+
+    def test_empty_matrix_falls_back(self):
+        coo = COOMatrix(8, 8, np.array([], dtype=np.int64),
+                        np.array([], dtype=np.int64), None)
+        fused = plan_structures(coo, STRUCTURES)
+        for kind, block in STRUCTURES:
+            assert_same_format(
+                fused[(kind, block)],
+                build_candidate(coo, Candidate(kind, block, Impl.SCALAR)),
+            )
+
+    def test_charges_stats_and_convert_phases(self, small_coo):
+        import time
+
+        timings: dict = {}
+        plan_structures(
+            small_coo, STRUCTURES, timings=timings, clock=time.perf_counter
+        )
+        assert timings["stats"] > 0.0
+        assert timings["convert"] > 0.0
+
+
+class TestMatrixProgramEquivalence:
+    @given(
+        coo=random_coos(),
+        precision=st.sampled_from(["dp", "sp"]),
+        nthreads=st.integers(1, 4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_cells_match_per_cell_path(
+        self, coo, precision, nthreads, machine, profile_cache_both
+    ):
+        """Every (candidate, precision, threads) cell — simulated breakdown
+        and model predictions — is exactly what the sequential path
+        produces."""
+        candidates = (
+            CANDIDATES
+            if nthreads == 1
+            else tuple(c for c in CANDIDATES if c.kind != "vbl")
+        )
+        models = MODEL_NAMES if nthreads == 1 else ()
+        program = MatrixProgram(
+            coo, machine, CANDIDATES, profile_cache=profile_cache_both
+        )
+        batched = program.evaluate(
+            precision, nthreads, candidates, models=models
+        )
+        reference = evaluate_candidates(
+            coo,
+            machine,
+            precision,
+            candidates=candidates,
+            models=models,
+            profile_cache=profile_cache_both,
+            nthreads=nthreads,
+        )
+        assert len(batched) == len(reference)
+        for got, want in zip(batched, reference):
+            assert got.candidate == want.candidate
+            assert got.ws_bytes == want.ws_bytes
+            assert got.padding_ratio == want.padding_ratio
+            assert got.n_blocks == want.n_blocks
+            # SimResult is a frozen dataclass: == is exact float equality.
+            assert got.sim == want.sim
+            assert got.predictions == want.predictions
+
+    def test_autotuner_batched_select_agrees(self, small_coo, machine):
+        # The "mem" model needs no calibrated profile, so this stays fast.
+        tuner = AutoTuner(machine)
+        plain = tuner.select(small_coo, model="mem", candidates=CANDIDATES)
+        batched = tuner.select(
+            small_coo, model="mem", candidates=CANDIDATES, batch=True
+        )
+        assert batched.candidate == plain.candidate
+        assert batched.predictions == plain.predictions
+
+
+class TestPlanMemoCap:
+    def test_lru_eviction_and_refresh(self, machine, small_coo):
+        fmt = build_candidate(small_coo, Candidate("csr", None, Impl.SCALAR))
+        # Keep every machine referenced: id() reuse after gc would alias keys.
+        machines = [
+            machine.with_overrides() for _ in range(MAX_PLANS_PER_FORMAT)
+        ]
+        plans = [get_plan(fmt, m, "dp") for m in machines]
+        assert len(fmt._sim_plans) == MAX_PLANS_PER_FORMAT
+
+        # A hit refreshes recency: the oldest entry survives the next insert.
+        assert get_plan(fmt, machines[0], "dp") is plans[0]
+        extra = machine.with_overrides()
+        get_plan(fmt, extra, "dp")
+        assert len(fmt._sim_plans) == MAX_PLANS_PER_FORMAT
+        assert (id(machines[0]), Precision.DP) in fmt._sim_plans
+        assert (id(machines[1]), Precision.DP) not in fmt._sim_plans
+        assert (id(extra), Precision.DP) in fmt._sim_plans
+
+
+class TestDiffSweepResults:
+    def _result(self, t_real=1.0):
+        record = SweepRecord(
+            kind="csr", block=None, impl="scalar", precision="dp",
+            nthreads=1, t_real=t_real, t_mem=0.5, t_comp=0.5,
+            t_latency=0.0, ws_bytes=100, padding_ratio=1.0, n_blocks=10,
+            predictions={"mem": 0.5},
+        )
+        matrix = MatrixSweep(
+            idx=1, name="dense", domain="d", geometry=False, special=False,
+            nrows=4, ncols=4, nnz=10, records=[record],
+        )
+        return SweepResult(
+            config=SweepConfig(suite_indices=(1,)),
+            matrices=[matrix],
+            elapsed_s=0.0,
+        )
+
+    def test_identical_sweeps_diff_clean(self):
+        assert diff_sweep_results(self._result(), self._result()) is None
+
+    def test_first_divergent_field_is_named(self):
+        diff = diff_sweep_results(
+            self._result(t_real=1.0), self._result(t_real=1.0 + 1e-15)
+        )
+        assert diff is not None
+        assert "t_real" in diff
+        assert "record 0" in diff
+
+    def test_missing_matrix_reported(self):
+        a, b = self._result(), self._result()
+        b.matrices = []
+        assert "matrix count" in diff_sweep_results(a, b)

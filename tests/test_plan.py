@@ -279,10 +279,11 @@ class TestPhaseTimings:
 @pytest.mark.slow
 class TestGoldenFingerprint:
     def test_reduced_sweep_reproduces_reference_bytes(self, machine):
-        """The end-to-end guarantee: the SimPlan path's sweep over the
-        reduced golden config is byte-identical to the preserved reference
-        simulator's, on matrices covering the dense, regular-sparse and
-        latency-bound regimes (suite indices 1, 27, 30)."""
+        """The end-to-end guarantee: both the per-cell SimPlan path and the
+        batched array program reproduce the preserved reference simulator's
+        sweep byte-for-byte over the reduced golden config, on matrices
+        covering the dense, regular-sparse and latency-bound regimes
+        (suite indices 1, 27, 30)."""
         config = SweepConfig(
             precisions=("dp",),
             thread_counts=(1,),
@@ -296,7 +297,11 @@ class TestGoldenFingerprint:
             profile_cache=shared,
             simulate_fn=simulate_reference,
         )
-        optimized = run_sweep(
+        batched = run_sweep(
             config=config, machine=machine, profile_cache=shared
         )
-        assert optimized.canonical_json() == reference.canonical_json()
+        per_cell = run_sweep(
+            config=config, machine=machine, profile_cache=shared, batch=False
+        )
+        assert batched.canonical_json() == reference.canonical_json()
+        assert per_cell.canonical_json() == reference.canonical_json()
