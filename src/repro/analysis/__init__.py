@@ -4,17 +4,41 @@
 byte-determinism of the model paths, crash-safe cache writes, lock
 discipline in the advisor service, registered engine event schemas,
 registered fault-injection sites, and no exact float comparisons in model
-code.  See :mod:`repro.analysis.rules` for the rule catalog and
-``docs/lint.md`` for the workflow.
+code.  The v2 layer adds whole-program analysis: a project-wide
+module/call graph (:mod:`repro.analysis.project`), a fixpoint dataflow
+engine (:mod:`repro.analysis.dataflow`), and three interprocedural rule
+families (:mod:`repro.analysis.interproc`) — numeric-safety, lock-order,
+and stats-contract — plus SARIF output for code scanning.  See
+:mod:`repro.analysis.rules` for the rule catalog and ``docs/lint.md`` for
+the workflow.
 """
 
 from .baseline import apply_baseline, load_baseline, save_baseline
 from .config import LintConfig, find_project_root, load_config
 from .context import FileContext, Suppression
+from .dataflow import (
+    entry_locks,
+    fixpoint,
+    narrow_returns,
+    transitive_acquires,
+)
 from .findings import Finding
+from .interproc import (
+    LockOrderRule,
+    NumericSafetyRule,
+    StatsContractRule,
+)
+from .project import (
+    ClassInfo,
+    FunctionInfo,
+    Project,
+    build_project,
+    module_name,
+)
 from .rules import (
     RULE_REGISTRY,
     SUPPRESSION_RULE_ID,
+    UNUSED_SUPPRESSION_RULE_ID,
     AtomicWriteRule,
     DeterminismRule,
     EventSchemaRule,
@@ -31,6 +55,7 @@ from .runner import (
     lint_file,
     run_lint,
 )
+from .sarif import sarif_json, to_sarif
 
 __all__ = [
     "Finding",
@@ -40,12 +65,25 @@ __all__ = [
     "register",
     "RULE_REGISTRY",
     "SUPPRESSION_RULE_ID",
+    "UNUSED_SUPPRESSION_RULE_ID",
     "DeterminismRule",
     "AtomicWriteRule",
     "LockDisciplineRule",
     "EventSchemaRule",
     "FloatEqualityRule",
     "FaultSiteRule",
+    "NumericSafetyRule",
+    "LockOrderRule",
+    "StatsContractRule",
+    "Project",
+    "ClassInfo",
+    "FunctionInfo",
+    "build_project",
+    "module_name",
+    "fixpoint",
+    "entry_locks",
+    "transitive_acquires",
+    "narrow_returns",
     "LintConfig",
     "load_config",
     "find_project_root",
@@ -57,4 +95,6 @@ __all__ = [
     "lint_file",
     "build_rules",
     "iter_source_files",
+    "to_sarif",
+    "sarif_json",
 ]

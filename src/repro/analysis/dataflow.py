@@ -1,0 +1,262 @@
+"""A small worklist fixpoint engine over the project call graph.
+
+Every interprocedural rule in :mod:`repro.analysis.interproc` reduces to
+the same shape: a per-function fact, a transfer that recomputes one
+function's fact from its callees' facts, and iteration to a fixed point.
+:func:`fixpoint` implements exactly that — seed facts, recompute, and
+re-enqueue callers whenever a fact changes — terminating because each
+analysis's facts live in a finite lattice and its transfer is monotone.
+
+Three canned analyses are built on top:
+
+* :func:`transitive_acquires` — which lock tokens can a call into ``f``
+  end up acquiring, directly or through any resolved callee?  (A growing
+  union: ⊥ = ∅, monotone in callees.)
+* :func:`entry_locks` — which lock tokens are *always* held when ``f``
+  is entered, meeting over every resolved call site?  (A shrinking
+  intersection from ⊤; functions with no resolved callers — entry
+  points, thread targets, unresolved receivers — stay unconstrained and
+  report ∅ so rules never assume protection that isn't proven.)
+* :func:`narrow_returns` — does ``f`` return a value derived from an
+  int32-or-narrower numpy cast?  Propagates through project-internal
+  wrappers so ``def idx(): return np.int32(k)`` taints its callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable
+from typing import TypeVar
+
+from .context import dotted_name
+from .project import FunctionInfo, Project
+
+__all__ = [
+    "fixpoint",
+    "transitive_acquires",
+    "entry_locks",
+    "narrow_returns",
+    "NARROW_INT_DTYPES",
+]
+
+T = TypeVar("T")
+
+#: Integer dtypes narrower than the platform default that the
+#: numeric-safety rule treats as overflow-capable.
+NARROW_INT_DTYPES = frozenset({
+    "int32", "int16", "int8", "uint32", "uint16", "uint8",
+    "intc", "short", "byte", "uintc", "ushort", "ubyte",
+})
+
+
+def fixpoint(
+    nodes: Iterable[str],
+    initial: Callable[[str], T],
+    transfer: Callable[[str, Callable[[str], T]], T],
+    dependents: Callable[[str], Iterable[str]],
+    *,
+    max_rounds: int = 10_000,
+) -> dict[str, T]:
+    """Iterate ``transfer`` over ``nodes`` until facts stabilize.
+
+    ``initial(n)`` seeds each node's fact; ``transfer(n, get)`` recomputes
+    it (reading other nodes' current facts through ``get``); when a fact
+    changes, every node in ``dependents(n)`` is re-enqueued.  Facts must
+    support ``==``.  Termination is the analysis author's contract
+    (finite lattice + monotone transfer); ``max_rounds`` is a backstop so
+    a buggy transfer degrades into stale facts instead of a hang.
+    """
+    node_list = list(nodes)
+    facts: dict[str, T] = {n: initial(n) for n in node_list}
+    pending: list[str] = list(node_list)
+    in_queue: set[str] = set(node_list)
+    rounds = 0
+    while pending and rounds < max_rounds:
+        rounds += 1
+        batch, pending = pending, []
+        in_queue.clear()
+        for n in batch:
+            new = transfer(n, lambda k: facts[k])
+            if new != facts[n]:
+                facts[n] = new
+                for d in dependents(n):
+                    if d in facts and d not in in_queue:
+                        pending.append(d)
+                        in_queue.add(d)
+    return facts
+
+
+def _caller_map(project: Project) -> dict[str, list[str]]:
+    callers: dict[str, list[str]] = {}
+    for callee, sites in project.callers.items():
+        callers[callee] = sorted({caller for caller, _ in sites})
+    return callers
+
+
+def transitive_acquires(project: Project) -> dict[str, frozenset[str]]:
+    """qname → every lock token a call into it can acquire."""
+    callers = _caller_map(project)
+
+    def transfer(qname: str, get) -> frozenset[str]:
+        fn = project.functions[qname]
+        acc = set(fn.locks_acquired)
+        for callee in project.callees(qname):
+            acc |= get(callee)
+        return frozenset(acc)
+
+    return fixpoint(
+        project.functions,
+        lambda q: frozenset(project.functions[q].locks_acquired),
+        transfer,
+        lambda q: callers.get(q, ()),
+    )
+
+
+_TOP = frozenset({"⊤"})  # sentinel: "no resolved caller seen yet"
+
+
+def entry_locks(project: Project) -> dict[str, frozenset[str]]:
+    """qname → lock tokens provably held at *every* resolved call site.
+
+    Functions never called through a resolved site (entry points, thread
+    targets, dynamic dispatch) report ∅ — unknown callers mean no
+    protection can be assumed.
+    """
+    # Dependents of f are its callees: when f's entry set (or held-at-site
+    # sets derived from it) changes, each callee must be recomputed.
+    def transfer(qname: str, get) -> frozenset[str]:
+        acc: frozenset[str] | None = None
+        for caller, site in project.callers.get(qname, ()):
+            caller_entry = get(caller)
+            base = frozenset() if caller_entry == _TOP else caller_entry
+            held = site.locks_held | base
+            acc = held if acc is None else (acc & held)
+        return _TOP if acc is None else frozenset(acc)
+
+    facts = fixpoint(
+        project.functions,
+        lambda q: _TOP,
+        transfer,
+        lambda q: project.callees(q),
+    )
+    return {
+        q: (frozenset() if f == _TOP else f) for q, f in facts.items()
+    }
+
+
+# --------------------------------------------------------------------------- #
+# narrow-int return analysis
+# --------------------------------------------------------------------------- #
+
+
+def _is_narrow_dtype_expr(node: ast.expr) -> bool:
+    """``np.int32`` / ``"int32"`` / ``numpy.uint16`` …"""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in NARROW_INT_DTYPES
+    name = dotted_name(node)
+    if name is None:
+        return False
+    return name.split(".")[-1] in NARROW_INT_DTYPES
+
+
+def expr_is_narrow(
+    node: ast.expr,
+    *,
+    narrow_fns: Callable[[str], bool] | None = None,
+    resolve_call: Callable[[ast.Call], str | None] | None = None,
+    narrow_vars: frozenset[str] = frozenset(),
+) -> bool:
+    """Best-effort: does ``node`` evaluate to an int32-or-narrower array?
+
+    Recognized sources: ``np.int32(x)``-style constructor calls,
+    ``x.astype(np.int32)`` / ``x.astype("int32")``, numpy constructors
+    with a narrow ``dtype=`` kwarg (``np.zeros(n, dtype=np.int32)``),
+    subscripts of known-narrow names, and calls into project functions
+    whose :func:`narrow_returns` summary is narrow.
+    """
+    if isinstance(node, ast.Name):
+        return node.id in narrow_vars
+    if isinstance(node, ast.Subscript):
+        return expr_is_narrow(
+            node.value, narrow_fns=narrow_fns,
+            resolve_call=resolve_call, narrow_vars=narrow_vars,
+        )
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    fname = dotted_name(func)
+    # np.int32(x), numpy.uint16(x), ...
+    if fname is not None and fname.split(".")[-1] in NARROW_INT_DTYPES:
+        return True
+    # x.astype(np.int32) / x.astype("int32")
+    if isinstance(func, ast.Attribute) and func.attr == "astype":
+        for arg in node.args[:1]:
+            if _is_narrow_dtype_expr(arg):
+                return True
+        for kw in node.keywords:
+            if kw.arg == "dtype" and _is_narrow_dtype_expr(kw.value):
+                return True
+        return False
+    # np.zeros(..., dtype=np.int32) and friends.
+    for kw in node.keywords:
+        if kw.arg == "dtype" and _is_narrow_dtype_expr(kw.value):
+            return True
+    # A project function summarized as narrow-returning.
+    if narrow_fns is not None and resolve_call is not None:
+        callee = resolve_call(node)
+        if callee is not None and narrow_fns(callee):
+            return True
+    return False
+
+
+def _narrow_locals(
+    fn: FunctionInfo,
+    narrow: Callable[[str], bool],
+    resolve: Callable[[ast.Call], str | None],
+) -> frozenset[str]:
+    """Names assigned a narrow expression anywhere in ``fn``.
+
+    One forward pass per fixpoint round: assignments are scanned in source
+    order, so chains like ``a = np.int32(n); b = a`` resolve within a
+    round, while anything reassigned to a wide value later simply stays
+    flagged — conservative, but assignments in this codebase are
+    essentially single-static-assignment.
+    """
+    vars_: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and expr_is_narrow(
+                node.value, narrow_fns=narrow, resolve_call=resolve,
+                narrow_vars=frozenset(vars_),
+            ):
+                vars_.add(target.id)
+    return frozenset(vars_)
+
+
+def narrow_returns(project: Project) -> dict[str, bool]:
+    """qname → True when the function can return a narrow-int value."""
+    callers = _caller_map(project)
+    resolvers: dict[str, Callable[[ast.Call], str | None]] = {}
+    for qname, fn in project.functions.items():
+        by_node = {id(c.node): c.callee for c in fn.calls}
+        resolvers[qname] = lambda call, _m=by_node: _m.get(id(call))
+
+    def transfer(qname: str, get) -> bool:
+        fn = project.functions[qname]
+        resolve = resolvers[qname]
+        local_narrow = _narrow_locals(fn, get, resolve)
+        return any(
+            expr_is_narrow(
+                r, narrow_fns=get, resolve_call=resolve,
+                narrow_vars=local_narrow,
+            )
+            for r in fn.returns
+        )
+
+    return fixpoint(
+        project.functions,
+        lambda q: False,
+        transfer,
+        lambda q: callers.get(q, ()),
+    )

@@ -1,0 +1,927 @@
+"""Interprocedural rule families: numeric-safety, lock-order, stats-contract.
+
+These are *project rules*: they override :meth:`Rule.check_project` and run
+once per lint over the :class:`~repro.analysis.project.Project`, querying
+the fixpoint analyses in :mod:`repro.analysis.dataflow` instead of a single
+file's AST.
+
+``numeric-safety``
+    In the model paths (the code whose outputs back the canonical sweep
+    sha), flag arithmetic whose operands can be int32-narrowed — including
+    through project-function returns — float accumulations pinned to a
+    non-float64 dtype, and summation idioms whose accumulation order
+    differs from the pinned ``np.sum`` pairwise path.
+``lock-order``
+    Build the project-wide lock-acquisition graph (syntactic ``with``
+    nesting plus calls made while holding a lock, closed over
+    :func:`~repro.analysis.dataflow.transitive_acquires`) and report every
+    cycle as a potential deadlock.
+``stats-contract``
+    Cross-process dict contracts: every key the fleet fan-in reads from a
+    worker payload must be produced by some configured producer; every
+    ``EVENT_SCHEMAS`` kind/field must have an emit site; reporter field
+    reads under ``kind == ...`` guards must stay within that kind's schema.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from .context import FileContext, dotted_name
+from .dataflow import (
+    entry_locks,
+    expr_is_narrow,
+    narrow_returns,
+    transitive_acquires,
+)
+from .findings import Finding
+from .project import FunctionInfo, Project, _string_elements
+from .rules import Rule, _matches, register
+
+__all__ = [
+    "NumericSafetyRule",
+    "LockOrderRule",
+    "StatsContractRule",
+]
+
+
+# --------------------------------------------------------------------------- #
+# numeric-safety
+# --------------------------------------------------------------------------- #
+
+#: BinOps where a narrow-int operand can overflow silently.
+_OVERFLOW_OPS = {ast.Mult: "*", ast.Add: "+", ast.Pow: "**"}
+
+#: Reduction entry points whose accumulator dtype can be pinned via dtype=.
+_REDUCTIONS = frozenset({
+    "sum", "prod", "cumsum", "cumprod", "dot", "einsum", "matmul", "trace",
+})
+
+_FLOAT_NARROW_DTYPES = frozenset({
+    "float32", "float16", "single", "half", "longdouble",
+})
+
+#: numpy array factories: a variable assigned from one is a known ndarray
+#: (used to flag builtin ``sum()`` over arrays).
+_NP_FACTORIES = frozenset({
+    "array", "asarray", "arange", "zeros", "ones", "empty", "full",
+    "linspace", "concatenate", "stack", "where", "diff", "repeat", "tile",
+})
+
+
+def _dtype_kwarg(node: ast.Call) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    return None
+
+
+def _dtype_last(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    name = dotted_name(node)
+    return name.split(".")[-1] if name else None
+
+
+@register
+class NumericSafetyRule(Rule):
+    """Numeric invariants of the canonical sweep, checked statically.
+
+    The sweep's byte-identity argument (``docs/batching.md``) rests on two
+    properties of the model paths: index arithmetic happens at int64 (the
+    int32 views exist only as scipy constructor inputs, after a bounds
+    guard), and every float accumulation runs through numpy's default
+    pairwise float64 reduction.  This rule flags the static violations:
+    ``*``/``+``/``**``/``@`` where an operand is provably int32-or-narrower
+    (including values returned by project helpers, via the narrow-returns
+    fixpoint), reductions pinned to a narrow int or non-float64 float
+    accumulator via ``dtype=``, and alternative summation idioms
+    (``math.fsum``, builtin ``sum`` over a numpy array) whose accumulation
+    order differs from the pinned pairwise path.  Floor-division, modulo
+    and subtraction on narrow ints are allowed — they cannot overflow the
+    values the bounds guard admits.
+    """
+
+    id = "numeric-safety"
+    title = "int32 narrowing and accumulation-order hazards in model paths"
+    default_model_paths = (
+        "src/repro/machine", "src/repro/formats", "src/repro/core",
+    )
+
+    def __init__(self, settings: Mapping | None = None) -> None:
+        super().__init__(settings)
+        self.model_paths = tuple(
+            self.settings.get("model-paths", self.default_model_paths)
+        )
+        self.model_exclude = tuple(self.settings.get("model-exclude", ()))
+
+    def _in_scope(self, rel_path: str) -> bool:
+        if self.model_exclude and _matches(rel_path, self.model_exclude):
+            return False
+        return _matches(rel_path, self.model_paths)
+
+    def check_project(self, project: Project) -> list[Finding]:
+        narrow_fn = narrow_returns(project)
+        findings: list[Finding] = []
+        for qname in sorted(project.functions):
+            fn = project.functions[qname]
+            if not self._in_scope(fn.rel_path):
+                continue
+            findings.extend(self._check_function(fn, narrow_fn))
+        return findings
+
+    def _check_function(
+        self, fn: FunctionInfo, narrow_fn: dict[str, bool]
+    ) -> list[Finding]:
+        resolve = {id(c.node): c.callee for c in fn.calls}
+
+        def resolve_call(call: ast.Call) -> str | None:
+            return resolve.get(id(call))
+
+        def is_narrow_fn(qname: str) -> bool:
+            return narrow_fn.get(qname, False)
+
+        # Forward pass: names bound to narrow expressions.
+        narrow_vars: set[str] = set()
+        np_array_vars: set[str] = set()
+        for node in ast.walk(fn.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if expr_is_narrow(
+                node.value, narrow_fns=is_narrow_fn,
+                resolve_call=resolve_call,
+                narrow_vars=frozenset(narrow_vars),
+            ):
+                narrow_vars.add(target.id)
+            if isinstance(node.value, ast.Call):
+                name = dotted_name(node.value.func)
+                if name is not None and len(name.split(".")) > 1 and (
+                    name.split(".")[-1] in _NP_FACTORIES
+                    and name.split(".")[0] in ("np", "numpy")
+                ):
+                    np_array_vars.add(target.id)
+
+        def directly_narrow(expr: ast.expr) -> bool:
+            """Narrow *at this node* — Name/Subscript/Call forms only, so a
+            parent BinOp over an already-flagged BinOp is not re-flagged."""
+            if isinstance(expr, (ast.Name, ast.Subscript, ast.Call)):
+                return expr_is_narrow(
+                    expr, narrow_fns=is_narrow_fn, resolve_call=resolve_call,
+                    narrow_vars=frozenset(narrow_vars),
+                )
+            return False
+
+        findings: list[Finding] = []
+        ctx = fn.ctx
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.BinOp):
+                op_type = type(node.op)
+                if op_type in _OVERFLOW_OPS and (
+                    directly_narrow(node.left) or directly_narrow(node.right)
+                ):
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"'{_OVERFLOW_OPS[op_type]}' on an int32-narrowed "
+                        "operand can overflow silently; do the arithmetic "
+                        "at int64 and narrow only at the consumer boundary",
+                    ))
+                elif op_type is ast.MatMult and (
+                    directly_narrow(node.left) or directly_narrow(node.right)
+                ):
+                    findings.append(self.finding(
+                        ctx, node,
+                        "'@' on an int32-narrowed operand accumulates in a "
+                        "narrow dtype and can overflow; widen to int64 first",
+                    ))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(
+                    ctx, node, directly_narrow, np_array_vars
+                ))
+        return findings
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, directly_narrow,
+        np_array_vars: set[str],
+    ) -> list[Finding]:
+        name = dotted_name(node.func)
+        last = name.split(".")[-1] if name else (
+            node.func.attr if isinstance(node.func, ast.Attribute) else None
+        )
+        findings: list[Finding] = []
+        if name in ("math.fsum", "fsum"):
+            findings.append(self.finding(
+                ctx, node,
+                "math.fsum accumulates in shadow extended precision; its "
+                "result differs from the pinned np.sum pairwise path that "
+                "the canonical sha assumes",
+            ))
+            return findings
+        if name == "sum" and node.args and (
+            isinstance(node.args[0], ast.Name)
+            and node.args[0].id in np_array_vars
+        ):
+            findings.append(self.finding(
+                ctx, node,
+                "builtin sum() over a numpy array accumulates strictly "
+                "left-to-right; use np.sum so the pinned pairwise "
+                "accumulation order holds",
+            ))
+            return findings
+        is_np_reduce = name in ("np.add.reduce", "numpy.add.reduce")
+        if last in _REDUCTIONS or is_np_reduce:
+            dtype = _dtype_kwarg(node)
+            if dtype is not None:
+                dt = _dtype_last(dtype)
+                from .dataflow import NARROW_INT_DTYPES
+
+                if dt in NARROW_INT_DTYPES:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"reduction pinned to narrow int accumulator "
+                        f"dtype={dt}; overflow wraps silently",
+                    ))
+                elif dt in _FLOAT_NARROW_DTYPES:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"float accumulation into dtype={dt}; model "
+                        "reductions must accumulate in float64 to match "
+                        "the canonical output",
+                    ))
+            if last in ("dot", "matmul") or is_np_reduce:
+                for arg in node.args:
+                    if directly_narrow(arg):
+                        findings.append(self.finding(
+                            ctx, node,
+                            f"{last} on an int32-narrowed operand "
+                            "accumulates in a narrow dtype and can "
+                            "overflow; widen to int64 first",
+                        ))
+                        break
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# lock-order
+# --------------------------------------------------------------------------- #
+
+
+@register
+class LockOrderRule(Rule):
+    """Cycles in the project-wide lock-acquisition graph.
+
+    Nodes are normalized lock tokens (``module:Class.attr`` for
+    class-resolvable receivers, ``?.attr`` buckets otherwise).  An edge
+    ``A → B`` means some execution path acquires ``B`` while holding
+    ``A``: either a syntactic ``with`` nesting inside one function, or a
+    call made under ``A`` into a function whose transitive-acquires
+    summary contains ``B``.  Any cycle — including a self-edge, i.e.
+    re-acquiring a non-reentrant lock — is a potential deadlock: two
+    threads traversing the cycle from different entry points can each
+    hold the lock the other needs.  Each distinct cycle is reported once,
+    anchored at one witnessed edge site.
+    """
+
+    id = "lock-order"
+    title = "lock-acquisition cycles (potential deadlock)"
+    default_paths = (
+        "src/repro/engine", "src/repro/serve", "src/repro/fleet",
+        "src/repro/learn", "src/repro/resilience",
+    )
+
+    def check_project(self, project: Project) -> list[Finding]:
+        acquires = transitive_acquires(project)
+        # (A, B) -> first witnessed (FunctionInfo, ast node).
+        edges: dict[tuple[str, str], tuple[FunctionInfo, ast.AST]] = {}
+
+        def add_edge(a: str, b: str, fn: FunctionInfo, node: ast.AST) -> None:
+            edges.setdefault((a, b), (fn, node))
+
+        for qname in sorted(project.functions):
+            fn = project.functions[qname]
+            if not self.applies_to(fn.rel_path):
+                continue
+            for a, b, node in fn.lock_edges:
+                add_edge(a, b, fn, node)
+            for call in fn.calls:
+                if not call.locks_held or call.callee is None:
+                    continue
+                for inner in sorted(acquires.get(call.callee, ())):
+                    for outer in sorted(call.locks_held):
+                        add_edge(outer, inner, fn, call.node)
+
+        return self._report_cycles(edges)
+
+    def _report_cycles(
+        self, edges: dict[tuple[str, str], tuple[FunctionInfo, ast.AST]]
+    ) -> list[Finding]:
+        graph: dict[str, set[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        findings: list[Finding] = []
+        seen_cycles: set[tuple[str, ...]] = set()
+        for scc in _tarjan_sccs(graph):
+            if len(scc) == 1:
+                node = scc[0]
+                if node not in graph.get(node, ()):
+                    continue  # singleton without a self-loop: no cycle
+            cycle = tuple(sorted(scc))
+            if cycle in seen_cycles:
+                continue
+            seen_cycles.add(cycle)
+            fn, node, order = self._anchor(cycle, edges)
+            if len(cycle) == 1:
+                message = (
+                    f"lock {cycle[0]} is re-acquired while already held "
+                    "(self-deadlock unless the lock is reentrant)"
+                )
+            else:
+                path = " -> ".join(order + (order[0],))
+                message = (
+                    f"lock-order cycle {path}: two threads can each hold "
+                    "a lock the other needs (potential deadlock)"
+                )
+            findings.append(self.finding(fn.ctx, node, message))
+        return findings
+
+    @staticmethod
+    def _anchor(
+        cycle: tuple[str, ...],
+        edges: dict[tuple[str, str], tuple[FunctionInfo, ast.AST]],
+    ) -> tuple[FunctionInfo, ast.AST, tuple[str, ...]]:
+        """A deterministic witnessed edge inside the cycle, plus a
+        rotation of the cycle starting at that edge."""
+        members = set(cycle)
+        in_cycle = sorted(
+            (a, b) for (a, b) in edges if a in members and b in members
+        )
+        a, b = in_cycle[0]
+        fn, node = edges[(a, b)]
+        if len(cycle) == 1:
+            return fn, node, cycle
+        # Rotate so the report path starts at the witnessed edge.
+        order = [a]
+        rest = [t for t in cycle if t != a]
+        # Greedy walk along known edges for a readable path.
+        cur = a
+        pairs = {e for e in in_cycle}
+        while rest:
+            nxt = next(
+                (t for t in rest if (cur, t) in pairs), rest[0]
+            )
+            order.append(nxt)
+            rest.remove(nxt)
+            cur = nxt
+        return fn, node, tuple(order)
+
+
+def _tarjan_sccs(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan: strongly connected components, deterministic."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+# --------------------------------------------------------------------------- #
+# stats-contract
+# --------------------------------------------------------------------------- #
+
+#: Fields EventBus.emit stamps onto every event.
+_IMPLICIT_EVENT_FIELDS = frozenset({"ts", "event", "kind"})
+
+
+@register
+class StatsContractRule(Rule):
+    """Dict keys that cross a process boundary must have both ends.
+
+    Three checks, all static:
+
+    * **consumer keys** — for each configured consumer function (the
+      fleet ``merge_stats`` fan-in, the learn ``/stats`` merge), every
+      literal key it reads from an externally-supplied payload (a
+      parameter or anything derived from one, including loops over
+      module-level key tuples like ``SUMMED_COUNTERS``) must be produced
+      by some configured producer function (dict-literal keys, ``d[k] =``
+      stores, ``dict(k=...)``, ``{**base, ...}``).
+    * **schema producers** — every kind declared in the event registry's
+      ``EVENT_SCHEMAS`` dict literal must have at least one
+      ``bus.emit("kind", ...)`` site somewhere in the project, and every
+      declared field must appear at some emit site (a ``**splat`` emit
+      covers all of that kind's fields).
+    * **reporter fields** — in the configured reporter modules, reads of
+      ``event["f"]`` / ``event.get("f")`` inside a ``kind == "K"`` branch
+      must name a field of ``K``'s schema (plus the implicit ``ts`` /
+      ``event`` stamps); ungoverned reads are checked against the union
+      of all schemas.
+    """
+
+    id = "stats-contract"
+    title = "cross-process dict-key contracts"
+    default_registry_module = "repro.engine.events"
+    default_consumers: tuple[str, ...] = ()
+    default_producers: tuple[str, ...] = ()
+    default_reporter_paths: tuple[str, ...] = ()
+
+    def __init__(self, settings: Mapping | None = None) -> None:
+        super().__init__(settings)
+        self.registry_module = self.settings.get(
+            "registry-module", self.default_registry_module
+        )
+        self.consumers = tuple(
+            self.settings.get("consumers", self.default_consumers)
+        )
+        self.producers = tuple(
+            self.settings.get("producers", self.default_producers)
+        )
+        self.reporter_paths = tuple(
+            self.settings.get("reporter-paths", self.default_reporter_paths)
+        )
+        #: Keys assumed produced out-of-band (escape hatch for payloads
+        #: built dynamically, e.g. HTTP-layer envelopes).
+        self.assume_produced = frozenset(
+            self.settings.get("assume-produced", ())
+        )
+
+    # ------------------------------ entry ------------------------------ #
+    def check_project(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_consumers(project))
+        findings.extend(self._check_schemas(project))
+        findings.extend(self._check_reporters(project))
+        return findings
+
+    # --------------------------- consumers ----------------------------- #
+    def _check_consumers(self, project: Project) -> list[Finding]:
+        if not self.consumers:
+            return []
+        produced = self._produced_keys(project) | self.assume_produced
+        findings: list[Finding] = []
+        for qname in self.consumers:
+            fn = project.functions.get(qname)
+            if fn is None:
+                continue
+            reads = _external_key_reads(project, fn)
+            local_written = _written_keys(fn.node)
+            for key, node in reads:
+                if key in produced or key in local_written:
+                    continue
+                findings.append(self.finding(
+                    fn.ctx, node,
+                    f"{fn.name} reads key {key!r} from a worker payload "
+                    "but no configured producer ever writes it; the read "
+                    "will always hit its default",
+                ))
+        return findings
+
+    def _produced_keys(self, project: Project) -> frozenset[str]:
+        keys: set[str] = set()
+        for qname in self.producers:
+            fn = project.functions.get(qname)
+            if fn is not None:
+                keys |= _written_keys(fn.node)
+        return frozenset(keys)
+
+    # ---------------------------- schemas ------------------------------ #
+    def _schemas(
+        self, project: Project
+    ) -> tuple[FileContext | None, dict[str, tuple[frozenset[str], int]]]:
+        """Statically parsed ``EVENT_SCHEMAS`` (field set + decl line)."""
+        rel = project.modules.get(self.registry_module)
+        if rel is None:
+            return None, {}
+        ctx = project.contexts[rel]
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            else:
+                continue
+            if not (
+                isinstance(target, ast.Name)
+                and target.id == "EVENT_SCHEMAS"
+                and isinstance(value, ast.Dict)
+            ):
+                continue
+            out: dict[str, tuple[frozenset[str], int]] = {}
+            for key, val in zip(value.keys, value.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                ):
+                    continue
+                fields = _string_elements(val) or ()
+                out[key.value] = (frozenset(fields), key.lineno)
+            return ctx, out
+        return ctx, {}
+
+    @staticmethod
+    def _emit_sites(
+        project: Project,
+    ) -> dict[str, list[tuple[frozenset[str] | None, str]]]:
+        """kind → list of (kwarg field set | None for **splat, rel_path)."""
+        sites: dict[str, list[tuple[frozenset[str] | None, str]]] = {}
+        for rel in sorted(project.contexts):
+            ctx = project.contexts[rel]
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr == "emit"
+                ):
+                    continue
+                target = dotted_name(func.value)
+                if target is None or "bus" not in target.lower():
+                    continue
+                if not node.args or not (
+                    isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    continue
+                kind = node.args[0].value
+                if any(kw.arg is None for kw in node.keywords):
+                    sites.setdefault(kind, []).append((None, rel))
+                else:
+                    fields = frozenset(kw.arg for kw in node.keywords)
+                    sites.setdefault(kind, []).append((fields, rel))
+        return sites
+
+    def _check_schemas(self, project: Project) -> list[Finding]:
+        ctx, schemas = self._schemas(project)
+        if ctx is None or not schemas:
+            return []
+        sites = self._emit_sites(project)
+        findings: list[Finding] = []
+        for kind in schemas:
+            declared, lineno = schemas[kind]
+            kind_sites = sites.get(kind, [])
+            anchor = _LineAnchor(lineno)
+            if not kind_sites:
+                findings.append(self.finding(
+                    ctx, anchor,
+                    f"event kind {kind!r} is declared in EVENT_SCHEMAS but "
+                    "never emitted anywhere in the project",
+                ))
+                continue
+            if any(fields is None for fields, _ in kind_sites):
+                continue  # a **splat emit can carry any declared field
+            covered: set[str] = set()
+            for fields, _ in kind_sites:
+                covered |= fields
+            for field in sorted(declared - covered):
+                findings.append(self.finding(
+                    ctx, anchor,
+                    f"field {field!r} of event kind {kind!r} is declared "
+                    "but no emit site ever produces it",
+                ))
+        return findings
+
+    # --------------------------- reporters ----------------------------- #
+    def _check_reporters(self, project: Project) -> list[Finding]:
+        ctx, schemas = self._schemas(project)
+        if not schemas or not self.reporter_paths:
+            return []
+        union_fields: set[str] = set(_IMPLICIT_EVENT_FIELDS)
+        for fields, _ in schemas.values():
+            union_fields |= fields
+        findings: list[Finding] = []
+        for rel in sorted(project.contexts):
+            if not _matches(rel, self.reporter_paths):
+                continue
+            fctx = project.contexts[rel]
+            for node in ast.walk(fctx.tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                params = {a.arg for a in node.args.args}
+                if "event" not in params:
+                    continue
+                findings.extend(self._check_reporter_fn(
+                    fctx, node, schemas, frozenset(union_fields)
+                ))
+        return findings
+
+    def _check_reporter_fn(
+        self, ctx: FileContext, fn: ast.AST,
+        schemas: dict[str, tuple[frozenset[str], int]],
+        union_fields: frozenset[str],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+
+        def allowed_for(kinds: frozenset[str]) -> frozenset[str]:
+            if not kinds:
+                return union_fields
+            out = set(_IMPLICIT_EVENT_FIELDS)
+            for k in kinds:
+                out |= schemas.get(k, (frozenset(), 0))[0]
+            return frozenset(out)
+
+        def visit(node: ast.AST, kinds: frozenset[str]) -> None:
+            if isinstance(node, ast.If):
+                test_kinds = _kinds_in_test(node.test)
+                visit(node.test, kinds)
+                # Innermost governing compare wins; unknown tests inherit.
+                body_kinds = test_kinds if test_kinds else kinds
+                for child in node.body:
+                    visit(child, body_kinds)
+                for child in node.orelse:
+                    visit(child, kinds)
+                return
+            key = _event_field_read(node)
+            if key is not None and key not in allowed_for(kinds):
+                scope = (
+                    f"kind {sorted(kinds)!r}" if kinds else "any kind"
+                )
+                findings.append(self.finding(
+                    ctx, node,
+                    f"reporter reads event field {key!r} under {scope} "
+                    "but no schema declares it; the read always misses",
+                ))
+            for child in ast.iter_child_nodes(node):
+                visit(child, kinds)
+
+        for stmt in fn.body:
+            visit(stmt, frozenset())
+        return findings
+
+
+class _LineAnchor:
+    """Minimal node stand-in: a finding anchored at a bare line number."""
+
+    def __init__(self, lineno: int) -> None:
+        self.lineno = lineno
+
+
+def _kinds_in_test(test: ast.expr) -> frozenset[str]:
+    """``kind == "K"`` literals governing an If body (BoolOps included)."""
+    kinds: set[str] = set()
+
+    def scan(node: ast.expr) -> None:
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                scan(value)
+            return
+        if not isinstance(node, ast.Compare):
+            return
+        if not all(isinstance(op, ast.Eq) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        mentions_kind = any(
+            (isinstance(o, ast.Name) and o.id == "kind")
+            or (
+                isinstance(o, ast.Subscript)
+                and isinstance(o.slice, ast.Constant)
+                and o.slice.value in ("event", "kind")
+            )
+            or (
+                isinstance(o, ast.Call)
+                and isinstance(o.func, ast.Attribute)
+                and o.func.attr == "get"
+                and o.args
+                and isinstance(o.args[0], ast.Constant)
+                and o.args[0].value in ("event", "kind")
+            )
+            for o in operands
+        )
+        if not mentions_kind:
+            return
+        for o in operands:
+            if isinstance(o, ast.Constant) and isinstance(o.value, str):
+                kinds.add(o.value)
+
+    scan(test)
+    return frozenset(kinds)
+
+
+def _event_field_read(node: ast.AST) -> str | None:
+    """The literal key of an ``event["f"]`` / ``event.get("f")`` read."""
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "event"
+        and isinstance(node.slice, ast.Constant)
+        and isinstance(node.slice.value, str)
+    ):
+        return node.slice.value
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "event"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    ):
+        return node.args[0].value
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# consumer-side taint + key collection helpers
+# --------------------------------------------------------------------------- #
+
+_TAINT_PROPAGATING_METHODS = frozenset({"get", "items", "values", "copy"})
+
+
+def _written_keys(fn_node: ast.AST) -> frozenset[str]:
+    """Every literal dict key the function writes, any way it can.
+
+    Dict literals (``{"k": v}``, ``{**base, "k": v}``), subscript stores
+    and aug-stores (``d["k"] = v``), and ``dict(k=...)`` keywords.
+    """
+    keys: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    keys.add(key.value)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+        elif isinstance(node, ast.Call) and (
+            isinstance(node.func, ast.Name) and node.func.id == "dict"
+        ):
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    keys.add(kw.arg)
+    return frozenset(keys)
+
+
+def _key_set_vars(
+    project: Project, fn: FunctionInfo
+) -> dict[str, tuple[str, ...]]:
+    """Loop variables ranging over module-level string-tuple constants.
+
+    ``for key in SUMMED_COUNTERS:`` binds ``key`` to the tuple's elements;
+    a read ``payload.get(key)`` then expands to every element.  Constants
+    are resolved in the consumer's own module first, then through its
+    import bindings.
+    """
+    consts = dict(project.module_constants(fn.module))
+    for local, (kind, target) in project.bindings.get(fn.module, {}).items():
+        if kind == "obj" and ":" in target:
+            mod, name = target.split(":", 1)
+            other = project.module_constants(mod)
+            if name in other:
+                consts[local] = other[name]
+    out: dict[str, tuple[str, ...]] = {}
+
+    def bind(target: ast.expr, iter_expr: ast.expr) -> None:
+        iter_name = dotted_name(iter_expr)
+        if isinstance(target, ast.Name) and iter_name in consts:
+            # A variable reused across loops over different key tuples
+            # expands to the union — over-approximate, which only makes
+            # the produced-key requirement stricter, never looser.
+            prior = out.get(target.id, ())
+            merged = prior + tuple(
+                k for k in consts[iter_name] if k not in prior
+            )
+            out[target.id] = merged
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            bind(node.target, node.iter)
+        elif isinstance(node, ast.comprehension):
+            bind(node.target, node.iter)
+    return out
+
+
+def _external_key_reads(
+    project: Project, fn: FunctionInfo
+) -> list[tuple[str, ast.AST]]:
+    """Literal keys ``fn`` reads from parameter-derived (external) values."""
+    args = fn.node.args
+    tainted: set[str] = {
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.arg not in ("self", "cls")
+    }
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            tainted.add(extra.arg)
+
+    def is_tainted(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in tainted
+        if isinstance(expr, ast.Subscript):
+            return is_tainted(expr.value)
+        if isinstance(expr, ast.Call) and isinstance(
+            expr.func, ast.Attribute
+        ):
+            if expr.func.attr in _TAINT_PROPAGATING_METHODS:
+                return is_tainted(expr.func.value)
+        return False
+
+    # Propagate taint through assignments / loops until stable.
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and (
+                    target.id not in tainted and is_tainted(node.value)
+                ):
+                    tainted.add(target.id)
+                    changed = True
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if is_tainted(node.iter):
+                    for name_node in ast.walk(node.target):
+                        if isinstance(name_node, ast.Name) and (
+                            name_node.id not in tainted
+                        ):
+                            tainted.add(name_node.id)
+                            changed = True
+            elif isinstance(node, ast.comprehension):
+                if is_tainted(node.iter):
+                    for name_node in ast.walk(node.target):
+                        if isinstance(name_node, ast.Name) and (
+                            name_node.id not in tainted
+                        ):
+                            tainted.add(name_node.id)
+                            changed = True
+
+    key_sets = _key_set_vars(project, fn)
+
+    def keys_of(expr: ast.expr) -> tuple[str, ...]:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return (expr.value,)
+        if isinstance(expr, ast.Name) and expr.id in key_sets:
+            return key_sets[expr.id]
+        return ()
+
+    reads: list[tuple[str, ast.AST]] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Subscript) and is_tainted(node.value):
+            for key in keys_of(node.slice):
+                reads.append((key, node))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and is_tainted(node.func.value)
+        ):
+            for key in keys_of(node.args[0]):
+                reads.append((key, node))
+    return reads

@@ -1,0 +1,625 @@
+"""Whole-program context: module graph, call graph, per-function summaries.
+
+PR 4's linter parsed each file once and ran purely file-local rules.  The
+v2 layer builds one :class:`Project` over *every* linted
+:class:`~repro.analysis.context.FileContext`:
+
+* **module graph** — each file becomes a module (``src/repro/x/y.py`` →
+  ``repro.x.y``); ``import`` / ``from ... import`` statements (absolute,
+  relative, and aliased) are resolved *within the linted tree* into a
+  per-module name-binding table;
+* **function table** — every function and method gets a
+  :class:`FunctionInfo` keyed by qualified name
+  (``repro.fleet.supervisor:FleetSupervisor._begin_restart``) holding a
+  summary of what rules care about: the call sites it contains (resolved
+  through the binding tables, ``self``, annotated parameters, and
+  constructor-typed locals), the lock tokens it acquires, the ``self``
+  attributes it writes (and whether the write sits under a lock
+  syntactically), and its return expressions;
+* **call graph** — ``callers`` / ``callees`` maps over those qualified
+  names, which the fixpoint analyses in :mod:`repro.analysis.dataflow`
+  iterate.
+
+Resolution is deliberately best-effort: anything dynamic (``getattr``,
+values through containers, foreign libraries) stays unresolved, and every
+interprocedural rule is written so that *unresolved* means *unknown*, never
+*guilty*.  The lock-token scheme mirrors that: ``self.<...lock...>`` inside
+class ``C`` of module ``M`` normalizes to ``M:C.<attr>``; a non-``self``
+receiver is class-qualified when the variable's class is inferable (a
+parameter annotation, a ``v = ClassName(...)`` assignment, or iteration
+over an attribute whose ``__init__`` fills it with ``ClassName(...)``
+elements) and falls back to the attribute-path bucket ``?.<attr>``
+otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .context import FileContext, dotted_name
+
+__all__ = [
+    "CallSite",
+    "AttrWrite",
+    "FunctionInfo",
+    "ClassInfo",
+    "Project",
+    "build_project",
+    "module_name",
+    "is_lock_attr",
+]
+
+#: Attribute-name substrings that mark a ``with`` context manager as a lock
+#: acquisition (same heuristic as the PR 4 lock-discipline rule).
+_LOCK_TOKENS = ("lock", "mutex")
+
+
+def is_lock_attr(attr: str) -> bool:
+    low = attr.lower()
+    return any(t in low for t in _LOCK_TOKENS)
+
+
+def module_name(rel_path: str) -> str:
+    """``src/repro/x/y.py`` → ``repro.x.y`` (``__init__`` → the package)."""
+    parts = rel_path[:-3].split("/") if rel_path.endswith(".py") else rel_path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else rel_path
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    #: Resolved callee qualified name (``module:qual``), or ``None``.
+    callee: str | None
+    #: Lock tokens held *syntactically* at the call site (enclosing
+    #: ``with <lock>:`` blocks within the same function).
+    locks_held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """One ``self.X = ...`` / ``self.X[...] op= ...`` statement."""
+
+    node: ast.stmt
+    attr: str
+    #: True when the write sits under a ``with <lock>:`` block.
+    locked: bool
+
+
+@dataclass
+class FunctionInfo:
+    """The per-function summary every interprocedural rule queries."""
+
+    qname: str  #: ``module:qual`` (methods: ``module:Class.name``)
+    module: str
+    rel_path: str
+    cls: str | None  #: owning class qualified name (``module:Class``)
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: FileContext
+    calls: list[CallSite] = field(default_factory=list)
+    self_writes: list[AttrWrite] = field(default_factory=list)
+    #: Lock tokens acquired anywhere in the body (syntactically).
+    locks_acquired: set[str] = field(default_factory=set)
+    #: Syntactic nesting edges: ``with A:`` containing ``with B:``.
+    lock_edges: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    #: Return-value expressions (own body only, nested defs excluded).
+    returns: list[ast.expr] = field(default_factory=list)
+    #: Local variable name → inferred class qname (``module:Class``).
+    var_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus the structure rules query."""
+
+    qname: str  #: ``module:Class``
+    module: str
+    rel_path: str
+    node: ast.ClassDef
+    #: method name → function qname.
+    methods: dict[str, str] = field(default_factory=dict)
+    #: Base-class qnames resolved within the project.
+    bases: list[str] = field(default_factory=list)
+    #: ``self.<attr>`` → class qname of the value assigned to it
+    #: (``self.x = ClassName(...)`` anywhere in the class body).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: ``self.<attr>`` → element class qname, for attributes filled with
+    #: ``tuple(ClassName(...) for ...)`` / ``[ClassName(...) for ...]``.
+    attr_elem_types: dict[str, str] = field(default_factory=dict)
+
+
+class Project:
+    """Every linted file, cross-referenced."""
+
+    def __init__(self) -> None:
+        #: rel_path → parsed context, for every file that parsed.
+        self.contexts: dict[str, FileContext] = {}
+        #: module name → rel_path.
+        self.modules: dict[str, str] = {}
+        #: module name → {local name → ("module", m) | ("obj", "m:qual")}.
+        self.bindings: dict[str, dict[str, tuple[str, str]]] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: callee qname → list of (caller qname, CallSite).
+        self.callers: dict[str, list[tuple[str, CallSite]]] = {}
+
+    # ------------------------------ lookup ------------------------------ #
+    def function(self, qname: str) -> FunctionInfo | None:
+        return self.functions.get(qname)
+
+    def callees(self, qname: str) -> list[str]:
+        fn = self.functions.get(qname)
+        if fn is None:
+            return []
+        return sorted({c.callee for c in fn.calls if c.callee is not None})
+
+    def resolve_method(self, class_qname: str, name: str) -> str | None:
+        """``module:Class`` + method name → function qname, walking
+        project-known base classes (depth-limited, cycle-safe)."""
+        seen: set[str] = set()
+        stack = [class_qname]
+        while stack:
+            cur = stack.pop(0)
+            if cur in seen:
+                continue
+            seen.add(cur)
+            cls = self.classes.get(cur)
+            if cls is None:
+                continue
+            if name in cls.methods:
+                return cls.methods[name]
+            stack.extend(cls.bases)
+        return None
+
+    def module_constants(self, module: str) -> dict[str, tuple[str, ...]]:
+        """Module-level ``NAME = ("a", "b", ...)`` string-tuple constants.
+
+        The contracts rule expands ``for key in SUMMED_COUNTERS:`` loops
+        through this table, so dict-key sets declared once at module scope
+        are still statically checkable.
+        """
+        rel = self.modules.get(module)
+        if rel is None:
+            return {}
+        out: dict[str, tuple[str, ...]] = {}
+        ctx = self.contexts[rel]
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            elems = _string_elements(stmt.value)
+            if elems is not None:
+                out[target.id] = elems
+        return out
+
+
+def _string_elements(node: ast.expr) -> tuple[str, ...] | None:
+    """The elements of a literal tuple/list/set/frozenset of strings."""
+    if isinstance(node, ast.Call):
+        func = dotted_name(node.func)
+        if func in ("frozenset", "set", "tuple", "list") and len(node.args) == 1:
+            return _string_elements(node.args[0])
+        return None
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        elems = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                elems.append(elt.value)
+            else:
+                return None
+        return tuple(elems)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# build
+# --------------------------------------------------------------------------- #
+
+
+def build_project(contexts: dict[str, FileContext]) -> Project:
+    """Cross-reference every parsed file into one :class:`Project`."""
+    project = Project()
+    project.contexts = dict(contexts)
+    for rel in contexts:
+        project.modules[module_name(rel)] = rel
+
+    for rel, ctx in contexts.items():
+        module = module_name(rel)
+        project.bindings[module] = _collect_bindings(module, ctx.tree, project)
+
+    # Classes first (method tables feed call resolution), then functions.
+    for rel, ctx in contexts.items():
+        module = module_name(rel)
+        _collect_classes(project, module, rel, ctx)
+    for cls in project.classes.values():
+        _resolve_bases(project, cls)
+    for rel, ctx in contexts.items():
+        module = module_name(rel)
+        _collect_functions(project, module, rel, ctx)
+    # Attribute/element types need the class registry complete.
+    for cls in project.classes.values():
+        _collect_attr_types(project, cls)
+    # Summaries (calls, locks, writes) need attr types, so a second pass.
+    for fn in project.functions.values():
+        _summarize_function(project, fn)
+    for qname, fn in project.functions.items():
+        for call in fn.calls:
+            if call.callee is not None:
+                project.callers.setdefault(call.callee, []).append(
+                    (qname, call)
+                )
+    return project
+
+
+def _collect_bindings(
+    module: str, tree: ast.Module, project: Project
+) -> dict[str, tuple[str, str]]:
+    bindings: dict[str, tuple[str, str]] = {}
+    package = module.rsplit(".", 1)[0] if "." in module else ""
+    # A package's __init__ resolves relative imports against itself.
+    if project.modules.get(module, "").endswith("__init__.py"):
+        package = module
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.name
+                local = alias.asname or target.split(".")[0]
+                bound = target if alias.asname else target.split(".")[0]
+                bindings[local] = ("module", bound)
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_from_base(node, module, package)
+            if base is None:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                as_module = f"{base}.{alias.name}" if base else alias.name
+                if as_module in project.modules:
+                    bindings[local] = ("module", as_module)
+                else:
+                    bindings[local] = ("obj", f"{base}:{alias.name}")
+    return bindings
+
+
+def _resolve_from_base(
+    node: ast.ImportFrom, module: str, package: str
+) -> str | None:
+    if node.level == 0:
+        return node.module
+    # Relative import: level 1 = current package, 2 = its parent, ...
+    parts = package.split(".") if package else []
+    up = node.level - 1
+    if up > len(parts):
+        return None
+    base_parts = parts[: len(parts) - up] if up else parts
+    if node.module:
+        base_parts = base_parts + node.module.split(".")
+    return ".".join(base_parts) if base_parts else None
+
+
+def _collect_classes(
+    project: Project, module: str, rel: str, ctx: FileContext
+) -> None:
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        qname = f"{module}:{node.name}"
+        cls = ClassInfo(qname=qname, module=module, rel_path=rel, node=node)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[stmt.name] = f"{module}:{node.name}.{stmt.name}"
+        project.classes[qname] = cls
+
+
+def _resolve_bases(project: Project, cls: ClassInfo) -> None:
+    for base in cls.node.bases:
+        resolved = _resolve_dotted(
+            project, cls.module, dotted_name(base)
+        )
+        if resolved is not None and resolved in project.classes:
+            cls.bases.append(resolved)
+
+
+def _resolve_dotted(
+    project: Project, module: str, name: str | None
+) -> str | None:
+    """A dotted name in ``module`` → project qname (``mod:qual``) or module.
+
+    ``Foo`` defined locally → ``module:Foo``; ``pkg.mod.Foo`` through an
+    ``import`` binding → ``pkg.mod:Foo``; unresolvable → ``None``.
+    """
+    if name is None:
+        return None
+    parts = name.split(".")
+    bindings = project.bindings.get(module, {})
+    head = parts[0]
+    if head in bindings:
+        kind, target = bindings[head]
+        if kind == "obj":
+            return target + ("." + ".".join(parts[1:]) if len(parts) > 1 else "")
+        # module binding: walk the dotted tail for the longest module prefix.
+        mod, rest = target, parts[1:]
+        while rest and f"{mod}.{rest[0]}" in project.modules:
+            mod = f"{mod}.{rest[0]}"
+            rest = rest[1:]
+        if not rest:
+            return mod
+        return f"{mod}:{'.'.join(rest)}"
+    # A name defined in this very module?
+    own = f"{module}:{name}"
+    if own in project.classes or own in project.functions:
+        return own
+    if len(parts) > 1:
+        own_head = f"{module}:{head}"
+        if own_head in project.classes:
+            return f"{module}:{name}"
+    return None
+
+
+def _collect_functions(
+    project: Project, module: str, rel: str, ctx: FileContext
+) -> None:
+    def add(node, cls_qname: str | None, cls_name: str | None) -> None:
+        qual = f"{cls_name}.{node.name}" if cls_name else node.name
+        qname = f"{module}:{qual}"
+        project.functions[qname] = FunctionInfo(
+            qname=qname, module=module, rel_path=rel, cls=cls_qname,
+            name=node.name, node=node, ctx=ctx,
+        )
+
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add(node, None, None)
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    add(stmt, f"{module}:{node.name}", node.name)
+
+
+def _class_call_target(project: Project, module: str, node: ast.expr) -> str | None:
+    """``ClassName(...)`` (possibly dotted) → class qname, else ``None``."""
+    if not isinstance(node, ast.Call):
+        return None
+    resolved = _resolve_dotted(project, module, dotted_name(node.func))
+    if resolved is not None and resolved in project.classes:
+        return resolved
+    return None
+
+
+def _collect_attr_types(project: Project, cls: ClassInfo) -> None:
+    module = cls.module
+    for node in ast.walk(cls.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        attr = target.attr
+        direct = _class_call_target(project, module, node.value)
+        if direct is not None:
+            cls.attr_types[attr] = direct
+            continue
+        elem = _element_class(project, module, node.value)
+        if elem is not None:
+            cls.attr_elem_types[attr] = elem
+
+
+def _element_class(
+    project: Project, module: str, node: ast.expr
+) -> str | None:
+    """Element class of ``tuple(C(...) for ...)`` / ``[C(...) for ...]``."""
+    if isinstance(node, ast.Call):
+        func = dotted_name(node.func)
+        if func in ("tuple", "list") and len(node.args) == 1:
+            return _element_class(project, module, node.args[0])
+        return None
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        return _class_call_target(project, module, node.elt)
+    if isinstance(node, (ast.List, ast.Tuple)):
+        classes = {
+            _class_call_target(project, module, elt) for elt in node.elts
+        }
+        if len(classes) == 1:
+            (only,) = classes
+            return only
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# per-function summaries
+# --------------------------------------------------------------------------- #
+
+
+def _infer_var_types(project: Project, fn: FunctionInfo) -> dict[str, str]:
+    module = fn.module
+    types: dict[str, str] = {}
+    args = fn.node.args
+    for arg in (
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        *filter(None, (args.vararg, args.kwarg)),
+    ):
+        if arg.annotation is None:
+            continue
+        ann = arg.annotation
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            name = ann.value.split("|")[0].strip()
+        else:
+            name = dotted_name(ann)
+        resolved = _resolve_dotted(project, module, name)
+        if resolved is not None and resolved in project.classes:
+            types[arg.arg] = resolved
+
+    own_cls = project.classes.get(fn.cls) if fn.cls else None
+
+    def attr_elem(value: ast.expr) -> str | None:
+        """Element class of ``self.X`` via the owning class's summary."""
+        if (
+            own_cls is not None
+            and isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            return own_cls.attr_elem_types.get(value.attr)
+        return None
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            direct = _class_call_target(project, module, node.value)
+            if direct is not None:
+                types[target.id] = direct
+                continue
+            if isinstance(node.value, ast.Subscript):
+                elem = attr_elem(node.value.value)
+                if elem is not None:
+                    types[target.id] = elem
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                elem = attr_elem(node.iter)
+                if elem is not None:
+                    types[node.target.id] = elem
+    return types
+
+
+def _lock_token(project: Project, fn: FunctionInfo, expr: ast.expr) -> str | None:
+    """Normalize a ``with`` context expression into a lock token."""
+    name = dotted_name(expr)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if not is_lock_attr(parts[-1]):
+        return None
+    if parts[0] == "self" and len(parts) > 1:
+        if fn.cls is not None:
+            return f"{fn.cls}.{'.'.join(parts[1:])}"
+        return f"?.{'.'.join(parts[1:])}"
+    if len(parts) > 1:
+        receiver_cls = fn.var_types.get(parts[0])
+        if receiver_cls is not None:
+            return f"{receiver_cls}.{'.'.join(parts[1:])}"
+        return f"?.{'.'.join(parts[1:])}"
+    # Bare ``with lock:`` local — bucket by name.
+    return f"?.{parts[0]}"
+
+
+def _resolve_call(
+    project: Project, fn: FunctionInfo, node: ast.Call
+) -> str | None:
+    func = node.func
+    module = fn.module
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        # self.method(...) — own class, MRO within the project.
+        if isinstance(base, ast.Name) and base.id == "self" and fn.cls:
+            resolved = project.resolve_method(fn.cls, func.attr)
+            if resolved is not None:
+                return resolved
+            # self.attr.method(...) handled below via attr types.
+        # self.attr.method(...) — through the owning class's attr types.
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+            and fn.cls is not None
+        ):
+            own_cls = project.classes.get(fn.cls)
+            if own_cls is not None:
+                attr_cls = own_cls.attr_types.get(base.attr)
+                if attr_cls is not None:
+                    return project.resolve_method(attr_cls, func.attr)
+            return None
+        # var.method(...) — through inferred local types.
+        if isinstance(base, ast.Name) and base.id in fn.var_types:
+            return project.resolve_method(fn.var_types[base.id], func.attr)
+    resolved = _resolve_dotted(project, module, dotted_name(func))
+    if resolved is None:
+        return None
+    if resolved in project.functions:
+        return resolved
+    if resolved in project.classes:
+        return project.classes[resolved].methods.get("__init__")
+    # ``mod:Class.method`` spelled through a module binding.
+    if ":" in resolved:
+        mod, qual = resolved.split(":", 1)
+        if "." in qual:
+            head, tail = qual.split(".", 1)
+            cls = project.classes.get(f"{mod}:{head}")
+            if cls is not None and "." not in tail:
+                return project.resolve_method(f"{mod}:{head}", tail)
+    return None
+
+
+def _summarize_function(project: Project, fn: FunctionInfo) -> None:
+    fn.var_types = _infer_var_types(project, fn)
+
+    def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested def: its body runs later, not under these locks.
+            for child in ast.iter_child_nodes(node):
+                visit(child, ())
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            tokens = []
+            for item in node.items:
+                token = _lock_token(project, fn, item.context_expr)
+                if token is not None:
+                    for outer in held + tuple(tokens):
+                        fn.lock_edges.append((outer, token, item.context_expr))
+                    tokens.append(token)
+                    fn.locks_acquired.add(token)
+            inner = held + tuple(tokens)
+            for item in node.items:
+                visit(item.context_expr, held)
+            for child in node.body:
+                visit(child, inner)
+            return
+        if isinstance(node, ast.Call):
+            fn.calls.append(CallSite(
+                node=node,
+                callee=_resolve_call(project, fn, node),
+                locks_held=frozenset(held),
+            ))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    fn.self_writes.append(AttrWrite(
+                        node=node, attr=attr, locked=bool(held)
+                    ))
+        elif isinstance(node, ast.Return) and node.value is not None:
+            fn.returns.append(node.value)
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in fn.node.body:
+        visit(stmt, ())
+
+
+def _self_attr(target: ast.AST) -> str | None:
+    """The ``X`` of a ``self.X = ...`` or ``self.X[...] = ...`` target."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None

@@ -43,10 +43,14 @@ Shipped rules:
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Mapping
+import inspect
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from .context import FileContext, dotted_name
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .project import Project
 
 __all__ = [
     "Rule",
@@ -59,10 +63,16 @@ __all__ = [
     "FloatEqualityRule",
     "FaultSiteRule",
     "SUPPRESSION_RULE_ID",
+    "UNUSED_SUPPRESSION_RULE_ID",
 ]
 
 #: Pseudo rule id used by the runner for malformed ``# repro: noqa`` comments.
 SUPPRESSION_RULE_ID = "suppression"
+
+#: Pseudo rule id used by the runner for ``# repro: noqa`` comments that no
+#: longer suppress any finding (full runs only — a ``--rule`` subset can't
+#: tell stale from out-of-scope).
+UNUSED_SUPPRESSION_RULE_ID = "unused-suppression"
 
 RULE_REGISTRY: dict[str, type["Rule"]] = {}
 
@@ -104,6 +114,27 @@ class Rule:
 
     def check(self, ctx: FileContext) -> list[Finding]:  # pragma: no cover
         raise NotImplementedError
+
+    def check_project(self, project: "Project") -> list[Finding]:
+        """Whole-program hook: runs once per lint over the full project.
+
+        Rules that override this are *project rules*: the runner calls
+        ``check_project`` after every file is parsed and skips their
+        per-file :meth:`check` (which remains available for the legacy
+        single-file :func:`~repro.analysis.runner.lint_file` API).
+        """
+        return []
+
+    @classmethod
+    def is_project_rule(cls) -> bool:
+        return cls.check_project is not Rule.check_project
+
+    @classmethod
+    def explain(cls) -> str:
+        """Human-readable rationale for ``lint --explain <rule-id>``."""
+        doc = inspect.cleandoc(cls.__doc__ or "").strip()
+        header = f"{cls.id} — {cls.title}" if cls.title else cls.id
+        return f"{header}\n\n{doc}" if doc else header
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
         return Finding(
@@ -317,11 +348,59 @@ class LockDisciplineRule(Rule):
     a lock block — anywhere but ``__init__``, which runs before the object
     is shared — is reported.  Reads are not checked (snapshotting a counter
     racily is a judgement call; torn writes never are).
+
+    On full runs the check is *interprocedural*: a write inside a helper
+    counts as locked when the caller-side entry-lock analysis proves some
+    lock is held at every resolved call into that helper — so factoring
+    ``with self._lock: self._stats[...] = v`` into an unlocked helper is
+    neither a false positive (the caller holds the lock) nor a missed race
+    (a helper reachable without the lock is still flagged).
     """
 
     id = "lock-discipline"
     title = "lock-protected attribute mutation"
     default_paths = ("src/repro/serve", "src/repro/engine")
+
+    def check_project(self, project: "Project") -> list[Finding]:
+        from .dataflow import entry_locks
+
+        entry = entry_locks(project)
+        # Gather writes per class across every function in scope.
+        per_class: dict[str, list[tuple]] = {}
+        for qname, fn in project.functions.items():
+            if fn.cls is None or not self.applies_to(fn.rel_path):
+                continue
+            # A helper is effectively locked when every resolved call
+            # into it provably holds some lock.
+            fn_entry_locked = bool(entry.get(qname))
+            for write in fn.self_writes:
+                effective = write.locked or fn_entry_locked
+                per_class.setdefault(fn.cls, []).append(
+                    (fn, write, effective)
+                )
+        findings = []
+        for cls_qname in sorted(per_class):
+            writes = per_class[cls_qname]
+            protected = {
+                w.attr for _, w, effective in writes
+                # Entry-lock-only writes count: an attribute mutated only
+                # in helpers that every caller enters under a lock is
+                # still lock-protected, so a new unlocked path is flagged.
+                if effective
+            }
+            cls_name = cls_qname.split(":", 1)[1]
+            for fn, write, effective in writes:
+                if effective or write.attr not in protected:
+                    continue
+                if fn.name == "__init__":
+                    continue
+                findings.append(self.finding(
+                    fn.ctx, write.node,
+                    f"self.{write.attr} is assigned under a lock elsewhere "
+                    f"in {cls_name} but mutated here without one (no lock "
+                    "held at any resolved call site either)",
+                ))
+        return findings
 
     def check(self, ctx: FileContext) -> list[Finding]:
         findings = []

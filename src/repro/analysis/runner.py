@@ -2,11 +2,19 @@
 
 :func:`run_lint` is the library entry point (the CLI subcommand is a thin
 wrapper): it resolves the configured paths to source files, builds one
-instance of every registered rule from its settings table, and lints each
-file through a single shared parse.  Inline ``# repro: noqa[rule-id]
-reason`` comments on the offending line suppress findings — a suppression
-without a reason (or naming an unknown rule) is itself reported under the
-``suppression`` rule, so annotations stay auditable.
+instance of every registered rule from its settings table, parses every
+file once into a shared :class:`FileContext`, runs per-file rules, then
+builds one :class:`~repro.analysis.project.Project` over all the contexts
+and runs every project rule's ``check_project`` against it.  Inline
+``# repro: noqa[rule-id] reason`` comments on the offending line suppress
+findings — a suppression without a reason (or naming an unknown rule) is
+itself reported under the ``suppression`` rule, and on full runs a
+well-formed suppression that no longer suppresses anything is reported
+under ``unused-suppression``, so annotations stay auditable and never
+outlive their finding.
+
+:func:`lint_file` remains the single-file API (used by the rule unit
+tests): per-file rules only, no project graph, no staleness detection.
 """
 
 from __future__ import annotations
@@ -18,7 +26,13 @@ from pathlib import Path
 from .config import LintConfig
 from .context import FileContext
 from .findings import Finding
-from .rules import RULE_REGISTRY, SUPPRESSION_RULE_ID, Rule
+from .project import build_project
+from .rules import (
+    RULE_REGISTRY,
+    SUPPRESSION_RULE_ID,
+    UNUSED_SUPPRESSION_RULE_ID,
+    Rule,
+)
 
 __all__ = ["LintResult", "run_lint", "lint_file", "build_rules",
            "iter_source_files"]
@@ -44,9 +58,10 @@ def build_rules(
 ) -> list[Rule]:
     """One configured instance of every (selected) registered rule."""
     if only:
+        pseudo = (SUPPRESSION_RULE_ID, UNUSED_SUPPRESSION_RULE_ID)
         unknown = sorted(
             r for r in only
-            if r not in RULE_REGISTRY and r != SUPPRESSION_RULE_ID
+            if r not in RULE_REGISTRY and r not in pseudo
         )
         if unknown:
             raise ValueError(
@@ -113,48 +128,120 @@ def lint_file(
             findings.append(finding)
 
     if check_suppressions:
-        for sup in ctx.suppressions.values():
-            if not sup.rules or not sup.reason:
-                findings.append(Finding(
-                    rule=SUPPRESSION_RULE_ID,
-                    path=rel_path,
-                    line=sup.line,
-                    message=(
-                        "suppression must name rule ids and give a reason: "
-                        "# repro: noqa[rule-id] why"
-                    ),
-                    snippet=ctx.lines[sup.line - 1].strip(),
-                ))
-                continue
-            unknown = sorted(
-                r for r in sup.rules
-                if r != "*" and r not in RULE_REGISTRY
-            )
-            if unknown:
-                findings.append(Finding(
-                    rule=SUPPRESSION_RULE_ID,
-                    path=rel_path,
-                    line=sup.line,
-                    message=f"suppression names unknown rule id(s) {unknown}",
-                    snippet=ctx.lines[sup.line - 1].strip(),
-                ))
+        findings.extend(_malformed_suppressions(ctx))
 
     findings.sort(key=Finding.sort_key)
     return findings, suppressed
 
 
+def _malformed_suppressions(ctx: FileContext) -> list[Finding]:
+    """Suppressions with no rule ids / reason, or naming unknown rules."""
+    findings: list[Finding] = []
+    for sup in ctx.suppressions.values():
+        if not sup.rules or not sup.reason:
+            findings.append(Finding(
+                rule=SUPPRESSION_RULE_ID,
+                path=ctx.rel_path,
+                line=sup.line,
+                message=(
+                    "suppression must name rule ids and give a reason: "
+                    "# repro: noqa[rule-id] why"
+                ),
+                snippet=ctx.lines[sup.line - 1].strip(),
+            ))
+            continue
+        unknown = sorted(
+            r for r in sup.rules
+            if r != "*" and r not in RULE_REGISTRY
+        )
+        if unknown:
+            findings.append(Finding(
+                rule=SUPPRESSION_RULE_ID,
+                path=ctx.rel_path,
+                line=sup.line,
+                message=f"suppression names unknown rule id(s) {unknown}",
+                snippet=ctx.lines[sup.line - 1].strip(),
+            ))
+    return findings
+
+
 def run_lint(
     config: LintConfig, *, only: tuple[str, ...] | None = None
 ) -> LintResult:
-    """Lint every configured source file with the configured rules."""
+    """Lint every configured source file with the configured rules.
+
+    Full runs (no ``only`` filter) additionally build the whole-program
+    :class:`~repro.analysis.project.Project` and run every project rule,
+    and report well-formed suppressions that suppressed nothing as
+    ``unused-suppression`` findings; a ``--rule`` subset still builds the
+    project (its rules may need it) but skips staleness detection, since
+    a subset run cannot tell a stale suppression from an out-of-scope one.
+    """
     rules = build_rules(config, only)
     check_suppressions = not only or SUPPRESSION_RULE_ID in only
+    file_rules = [r for r in rules if not type(r).is_project_rule()]
+    project_rules = [r for r in rules if type(r).is_project_rule()]
+
     result = LintResult()
+    contexts: dict[str, FileContext] = {}
+    raw: list[Finding] = []
     for path, rel in iter_source_files(config):
-        findings, suppressed = lint_file(
-            path, rel, rules, check_suppressions=check_suppressions
-        )
-        result.findings.extend(findings)
-        result.suppressed += suppressed
         result.files_checked += 1
+        try:
+            ctx = FileContext(path, rel, path.read_text())
+        except SyntaxError as exc:
+            result.findings.append(Finding(
+                rule=PARSE_RULE_ID,
+                path=rel,
+                line=exc.lineno or 0,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        contexts[rel] = ctx
+        for rule in file_rules:
+            if rule.applies_to(rel):
+                raw.extend(rule.check(ctx))
+
+    if project_rules:
+        project = build_project(contexts)
+        for rule in project_rules:
+            raw.extend(rule.check_project(project))
+
+    # Central suppression pass (covers file and project findings alike).
+    used_suppressions: set[tuple[str, int]] = set()
+    for finding in raw:
+        ctx = contexts.get(finding.path)
+        sup = ctx.suppressions.get(finding.line) if ctx else None
+        if sup is not None and sup.reason and sup.covers(finding.rule):
+            result.suppressed += 1
+            used_suppressions.add((finding.path, sup.line))
+        else:
+            result.findings.append(finding)
+
+    if check_suppressions:
+        for ctx in contexts.values():
+            result.findings.extend(_malformed_suppressions(ctx))
+
+    if only is None:
+        for rel in sorted(contexts):
+            ctx = contexts[rel]
+            for sup in ctx.suppressions.values():
+                if not sup.rules or not sup.reason:
+                    continue  # already reported as malformed
+                if any(r != "*" and r not in RULE_REGISTRY
+                       for r in sup.rules):
+                    continue  # already reported as unknown-rule
+                if (rel, sup.line) not in used_suppressions:
+                    result.findings.append(Finding(
+                        rule=UNUSED_SUPPRESSION_RULE_ID,
+                        path=rel,
+                        line=sup.line,
+                        message=(
+                            "suppression no longer suppresses anything; "
+                            "remove the stale # repro: noqa comment"
+                        ),
+                        snippet=ctx.lines[sup.line - 1].strip(),
+                    ))
+
+    result.findings.sort(key=Finding.sort_key)
     return result

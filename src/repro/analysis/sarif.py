@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+:func:`to_sarif` converts post-baseline findings into one SARIF run so CI
+can upload them with ``github/codeql-action/upload-sarif`` and surface
+them as pull-request annotations.  The emitter sticks to the stable core
+of the spec: one ``run``, driver-level rule metadata (id, short
+description, full ``--explain`` text), and one ``result`` per finding
+with a physical location and the linter's content fingerprint (line
+numbers excluded, so annotations survive unrelated edits — the same
+property the JSON baseline relies on).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from .findings import Finding
+from .rules import RULE_REGISTRY
+
+__all__ = ["to_sarif", "sarif_json", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Pseudo rules the runner emits that have no registry class.
+_PSEUDO_RULES: Mapping[str, str] = {
+    "parse": "file does not parse",
+    "suppression": "malformed # repro: noqa suppression",
+    "unused-suppression": "stale # repro: noqa suppression",
+}
+
+
+def _rule_metadata(rule_ids: list[str]) -> list[dict]:
+    rules = []
+    for rule_id in rule_ids:
+        cls = RULE_REGISTRY.get(rule_id)
+        if cls is not None:
+            rules.append({
+                "id": rule_id,
+                "name": cls.__name__,
+                "shortDescription": {"text": cls.title or rule_id},
+                "fullDescription": {"text": cls.explain()},
+                "defaultConfiguration": {"level": "error"},
+            })
+        else:
+            rules.append({
+                "id": rule_id,
+                "shortDescription": {
+                    "text": _PSEUDO_RULES.get(rule_id, rule_id)
+                },
+                "defaultConfiguration": {"level": "error"},
+            })
+    return rules
+
+
+def to_sarif(
+    findings: Iterable[Finding], *, tool_version: str = "2.0"
+) -> dict:
+    """One SARIF 2.1.0 log dict covering ``findings``."""
+    findings = list(findings)
+    rule_ids = sorted({f.rule for f in findings} | set(RULE_REGISTRY))
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "ROOT",
+                    },
+                    "region": {"startLine": max(f.line, 1)},
+                },
+            }],
+            "partialFingerprints": {
+                "reprolint/v1": f.fingerprint,
+            },
+        }
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri": (
+                        "https://github.com/repro/repro/blob/main/docs/lint.md"
+                    ),
+                    "version": tool_version,
+                    "rules": _rule_metadata(rule_ids),
+                },
+            },
+            "originalUriBaseIds": {
+                "ROOT": {"description": {
+                    "text": "project root (pyproject.toml directory)",
+                }},
+            },
+            "results": results,
+        }],
+    }
+
+
+def sarif_json(findings: Iterable[Finding]) -> str:
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=False)

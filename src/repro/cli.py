@@ -490,9 +490,16 @@ def _build_lint_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif = SARIF 2.1.0 for "
+             "GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="ID",
+        help="print what a rule checks and why, then exit",
     )
     parser.add_argument(
         "--update-baseline",
@@ -524,6 +531,19 @@ def _lint_main(argv: Sequence[str]) -> int:
     )
 
     args = _build_lint_parser().parse_args(argv)
+    if args.explain is not None:
+        from .analysis import RULE_REGISTRY
+
+        cls = RULE_REGISTRY.get(args.explain)
+        if cls is None:
+            known = ", ".join(sorted(RULE_REGISTRY))
+            print(
+                f"error: unknown rule id {args.explain!r}; known: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        print(cls.explain())
+        return 0
     root = args.root if args.root is not None else find_project_root()
     config = load_config(root)
     only = tuple(args.rule) if args.rule else None
@@ -543,6 +563,11 @@ def _lint_main(argv: Sequence[str]) -> int:
         return 0
 
     new, baselined = apply_baseline(result.findings, baseline)
+    if args.format == "sarif":
+        from .analysis import sarif_json
+
+        print(sarif_json(new))
+        return 1 if new else 0
     if args.format == "json":
         print(_json.dumps({
             "findings": [f.to_payload() for f in new],
@@ -1048,7 +1073,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if argv and argv[0] == "loadtest":
         return _loadtest_main(argv[1:])
     if argv and argv[0] == "lint":
-        return _lint_main(argv[1:])
+        try:
+            return _lint_main(argv[1:])
+        except BrokenPipeError:
+            # stdout piped into a pager/head that exited early; not an
+            # error — mirror the conventional SIGPIPE exit status.
+            sys.stderr.close()
+            return 141
     args = _build_parser().parse_args(argv)
     wanted = list(args.experiments)
     if "all" in wanted:

@@ -14,6 +14,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import (
+    RULE_REGISTRY,
     AtomicWriteRule,
     DeterminismRule,
     EventSchemaRule,
@@ -21,6 +22,7 @@ from repro.analysis import (
     FloatEqualityRule,
     LintConfig,
     LockDisciplineRule,
+    LockOrderRule,
     apply_baseline,
     build_rules,
     find_project_root,
@@ -612,3 +614,24 @@ class TestConfigAndWalker:
         config = LintConfig(root=tmp_path, paths=("pkg",))
         result = run_lint(config)
         assert rule_ids(result.findings) == ["parse"]
+
+
+class TestRuleIntrospection:
+    def test_project_rule_detection(self):
+        # v2 rules override check_project; file rules do not.
+        assert LockOrderRule.is_project_rule()
+        assert LockDisciplineRule.is_project_rule()
+        assert not DeterminismRule.is_project_rule()
+        assert not FloatEqualityRule.is_project_rule()
+
+    def test_explain_format(self):
+        text = LockOrderRule.explain()
+        first, _, body = text.partition("\n")
+        assert first == f"{LockOrderRule.id} — {LockOrderRule.title}"
+        assert body.strip()  # full docstring follows the header
+
+    def test_every_rule_has_explain_text(self):
+        for cls in RULE_REGISTRY.values():
+            text = cls.explain()
+            assert text.startswith(f"{cls.id} — ")
+            assert len(text.splitlines()) > 1, cls.id

@@ -11,8 +11,11 @@ import json
 import textwrap
 from pathlib import Path
 
+import jsonschema
+
 from repro import cli
 from repro.analysis import (
+    RULE_REGISTRY,
     apply_baseline,
     load_baseline,
     load_config,
@@ -20,6 +23,133 @@ from repro.analysis import (
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Strict subset of the SARIF 2.1.0 schema covering exactly the shape
+#: ``repro.analysis.sarif`` emits.  Embedded because the canonical schema
+#: at schemastore.org is unreachable from the test environment; keep in
+#: sync with docs/lint.md if the emitter grows new properties.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "$schema": {
+            "const": "https://json.schemastore.org/sarif-2.1.0.json"
+        },
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "maxItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "fullDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "originalUriBaseIds": {"type": "object"},
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": [
+                                "ruleId", "level", "message", "locations",
+                            ],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error",
+                                    ],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {
+                                            "type": "string",
+                                            "minLength": 1,
+                                        },
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                    "region",
+                                                ],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "required": [
+                                                            "startLine",
+                                                        ],
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": (
+                                                                    "integer"
+                                                                ),
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {"type": "object"},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
 
 
 class TestSelfLint:
@@ -94,3 +224,68 @@ class TestLintCLI:
 
         assert cli.main(["lint", "--root", str(tmp_path)]) == 0
         assert "1 baselined" in capsys.readouterr().out
+
+
+class TestSarifOutput:
+    def test_clean_repo_sarif_validates(self, capsys):
+        code = cli.main(
+            ["lint", "--format", "sarif", "--root", str(REPO_ROOT)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        jsonschema.validate(payload, SARIF_SUBSET_SCHEMA)
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert run["results"] == []
+        # Every registered rule ships metadata even on a clean run.
+        ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(RULE_REGISTRY) <= ids
+
+    def test_findings_sarif_validates(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.reprolint]
+            paths = ["pkg"]
+
+            [tool.reprolint.rules.float-equality]
+            paths = []
+            """))
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("def f(x):\n    return x == 1.5\n")
+
+        code = cli.main(
+            ["lint", "--format", "sarif", "--root", str(tmp_path)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        jsonschema.validate(payload, SARIF_SUBSET_SCHEMA)
+        run = payload["runs"][0]
+        (result,) = run["results"]
+        assert result["ruleId"] == "float-equality"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "pkg/mod.py"
+        assert loc["region"]["startLine"] == 2
+        # ruleIndex points back into the driver rules array.
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "float-equality"
+        assert "reprolint/v1" in result["partialFingerprints"]
+
+
+class TestExplain:
+    def test_explain_each_v2_rule(self, capsys):
+        for rule_id in ("numeric-safety", "lock-order", "stats-contract"):
+            assert cli.main(["lint", "--explain", rule_id]) == 0
+            out = capsys.readouterr().out
+            assert out.startswith(rule_id)
+            # More than the one-line title: the full docstring body.
+            assert len(out.strip().splitlines()) > 2
+
+    def test_explain_every_registered_rule(self, capsys):
+        for rule_id in RULE_REGISTRY:
+            assert cli.main(["lint", "--explain", rule_id]) == 0
+            assert capsys.readouterr().out.strip()
+
+    def test_explain_unknown_rule(self, capsys):
+        assert cli.main(["lint", "--explain", "no-such-rule"]) == 2
+        assert "no-such-rule" in capsys.readouterr().err
