@@ -41,6 +41,7 @@ from .rules import (
     UNUSED_SUPPRESSION_RULE_ID,
     AtomicWriteRule,
     DeterminismRule,
+    EnvelopeIoRule,
     EventSchemaRule,
     FaultSiteRule,
     FloatEqualityRule,
@@ -68,6 +69,7 @@ __all__ = [
     "UNUSED_SUPPRESSION_RULE_ID",
     "DeterminismRule",
     "AtomicWriteRule",
+    "EnvelopeIoRule",
     "LockDisciplineRule",
     "EventSchemaRule",
     "FloatEqualityRule",

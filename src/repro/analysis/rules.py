@@ -38,6 +38,13 @@ Shipped rules:
     :data:`repro.resilience.faults.SITE_CATALOG` — the one catalog fault
     plans are validated against — so a typo'd hook can't silently become
     un-injectable.
+``envelope-io``
+    Modules that own ``.repro_cache`` state must *read* through
+    :func:`repro.ioutils.read_envelope` / ``read_envelope_lines`` — never
+    raw ``json.loads`` / ``json.load`` / ``Path.read_text`` /
+    ``read_bytes`` — so every cache load verifies the artifact's CRC32
+    envelope and corruption is detected instead of parsed (the read-side
+    twin of ``atomic-write``; see docs/durability.md).
 """
 
 from __future__ import annotations
@@ -58,6 +65,7 @@ __all__ = [
     "RULE_REGISTRY",
     "DeterminismRule",
     "AtomicWriteRule",
+    "EnvelopeIoRule",
     "LockDisciplineRule",
     "EventSchemaRule",
     "FloatEqualityRule",
@@ -331,6 +339,65 @@ class AtomicWriteRule(Rule):
         if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
             return False  # default mode is read-only; dynamic modes skipped
         return any(c in _WRITE_MODES for c in mode.value)
+
+
+# --------------------------------------------------------------------------- #
+# envelope-io
+# --------------------------------------------------------------------------- #
+
+
+@register
+class EnvelopeIoRule(Rule):
+    """Cache owners must read through the verifying envelope helpers.
+
+    The read-side twin of :class:`AtomicWriteRule`: a cache artifact
+    parsed with raw ``json.loads`` / ``json.load`` (or slurped with
+    ``Path.read_text`` / ``read_bytes`` first) skips the CRC32 envelope
+    check, so a torn or bit-flipped file is *trusted* instead of
+    quarantined.  Scoped to the modules that own ``.repro_cache`` state;
+    :mod:`repro.ioutils` and :mod:`repro.durability` — where the
+    verification itself lives — are simply not listed.  ``json.dumps`` is
+    fine (serialization feeds the envelope writers); it is the decode
+    direction that must verify.
+    """
+
+    id = "envelope-io"
+    title = "verifying cache reads"
+    default_paths = (
+        "src/repro/engine/shards.py",
+        "src/repro/serve/store.py",
+        "src/repro/core/profiling.py",
+        "src/repro/bench/harness.py",
+        "src/repro/learn/registry.py",
+        "src/repro/learn/tracelog.py",
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            attr = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else None
+            )
+            if name in ("json.loads", "json.load"):
+                findings.append(self.finding(
+                    ctx, node,
+                    f"raw {name} in a cache-owning module; route through "
+                    "repro.ioutils.read_envelope so corruption is "
+                    "detected, not parsed",
+                ))
+            elif attr in ("read_text", "read_bytes"):
+                findings.append(self.finding(
+                    ctx, node,
+                    f"raw Path.{attr} in a cache-owning module; route "
+                    "through repro.ioutils.read_envelope / "
+                    "read_envelope_lines",
+                ))
+        return findings
 
 
 # --------------------------------------------------------------------------- #

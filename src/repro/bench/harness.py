@@ -32,8 +32,11 @@ from ..core.selection import evaluate_candidates
 # in this module and grew callers across bench/, engine/ and serve/.
 from ..ioutils import (  # noqa: F401
     CACHE_DECODE_ERRORS,
+    CacheWriteError,
     atomic_write_json,
+    read_envelope,
     remove_stale_tmp_files,
+    write_envelope,
 )
 from ..machine.machine import MachineModel
 from ..machine.presets import get_preset
@@ -205,11 +208,13 @@ class SweepResult:
             "missing": list(self.missing),
             "matrices": [asdict(m) for m in self.matrices],
         }
-        atomic_write_json(path, payload)
+        write_envelope(path, payload, schema=SWEEP_VERSION)
 
     @classmethod
     def load(cls, path: str | Path) -> "SweepResult":
-        payload = json.loads(Path(path).read_text())
+        """Parse a (possibly pre-envelope) sweep cache; the envelope
+        layer raises into :data:`CACHE_DECODE_ERRORS` on corruption."""
+        payload = read_envelope(path)
         return cls(
             config=_config_from_payload(payload["config"]),
             matrices=[
@@ -471,11 +476,15 @@ def load_or_run_sweep(
         try:
             return SweepResult.load(cache_path)
         except CACHE_DECODE_ERRORS as exc:
+            from ..durability.report import quarantine_artifact
+
             logger.warning(
                 "discarding corrupt sweep cache %s (%s: %s); re-running",
                 cache_path, type(exc).__name__, exc,
             )
-            cache_path.unlink(missing_ok=True)
+            quarantine_artifact(
+                cache_path, cache_dir, owner="sweep", error=exc
+            )
 
     # Imported here, not at module top: the engine is built on top of this
     # module and importing it eagerly would be circular.
@@ -504,5 +513,12 @@ def load_or_run_sweep(
         if log_reporter is not None:
             log_reporter.close()
     if not result.missing:
-        result.save(cache_path)
+        try:
+            result.save(cache_path)
+        except CacheWriteError as exc:
+            from ..durability.report import report_write_failure
+
+            # The sweep itself succeeded; losing the monolithic cache
+            # only costs the next run a shard-level resume.
+            report_write_failure(owner="sweep", path=cache_path, error=exc)
     return result

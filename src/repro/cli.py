@@ -20,6 +20,8 @@ Usage::
     python -m repro loadtest --mix chaos --seed 7 # deterministic load harness
     python -m repro lint                          # invariant linter (see docs/lint.md)
     python -m repro lint --rule determinism --format json
+    python -m repro fsck                          # verify the cache tree (docs/durability.md)
+    python -m repro fsck --repair --gc --max-bytes 50000000
 
 Sweeps run on the :mod:`repro.engine` worker pool: ``--jobs N`` picks the
 number of worker processes (default: all cores), completed per-matrix
@@ -591,6 +593,7 @@ def _lint_main(argv: Sequence[str]) -> int:
 def _serve_main(argv: Sequence[str]) -> int:
     import errno
 
+    from .durability.fsck import fsck_tree
     from .serve import server as server_mod
     from .serve.service import AdvisorService
 
@@ -602,6 +605,22 @@ def _serve_main(argv: Sequence[str]) -> int:
     if args.train_interval is not None and not args.learn:
         print("error: --train-interval requires --learn", file=sys.stderr)
         return 2
+    # Heal the cache partition before any store opens it (and before the
+    # server answers /readyz): corrupt artifacts quarantine, torn trace
+    # segments are rewritten, orphaned tmp files go — a worker restarted
+    # after a hard crash starts from a verified tree.
+    fsck_report = fsck_tree(args.cache_dir, repair=True)
+    if fsck_report.findings:
+        print(
+            f"fsck: repaired cache {args.cache_dir} — "
+            + ", ".join(
+                f"{kind}: {n}" for kind, n in sorted(
+                    fsck_report.counts().items()
+                )
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
     service_kwargs: dict = {"worker_id": args.worker_id}
     if args.profile_dir is not None:
         from .core.profiling import ProfileStore
@@ -1027,6 +1046,83 @@ def _loadtest_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def _build_fsck_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv fsck",
+        description=(
+            "Verify every cache artifact's checksummed envelope across "
+            "the cache root and all fleet worker partitions; optionally "
+            "repair (quarantine corrupt artifacts, rewrite torn trace "
+            "segments, sweep orphaned tmp files) and garbage-collect "
+            "(docs/durability.md).  Exit 0 when the tree is clean, 1 "
+            "when unrepaired problems remain."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        help="cache root to verify (default: .repro_cache)",
+    )
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "heal what verification finds: quarantine corrupt artifacts, "
+            "rewrite torn trace segments, remove stale tmp files"
+        ),
+    )
+    parser.add_argument(
+        "--gc",
+        action="store_true",
+        help=(
+            "after verification, delete rebuildable artifacts oldest-"
+            "first until the tree fits --max-bytes (profiles, the model "
+            "pointer and the model it references are never collected)"
+        ),
+    )
+    parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="size bound for --gc",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    return parser
+
+
+def _fsck_main(argv: Sequence[str]) -> int:
+    import json as _json
+
+    from .durability.fsck import fsck_tree
+
+    args = _build_fsck_parser().parse_args(argv)
+    if args.gc and args.max_bytes is None:
+        print("error: --gc requires --max-bytes", file=sys.stderr)
+        return 2
+    if args.max_bytes is not None and not args.gc:
+        print("error: --max-bytes requires --gc", file=sys.stderr)
+        return 2
+    if args.max_bytes is not None and args.max_bytes < 0:
+        print(
+            f"error: --max-bytes must be >= 0, got {args.max_bytes}",
+            file=sys.stderr,
+        )
+        return 2
+    report = fsck_tree(
+        args.cache_dir,
+        repair=args.repair,
+        gc_max_bytes=args.max_bytes if args.gc else None,
+    )
+    if args.format == "json":
+        print(_json.dumps(report.to_payload(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
 def _compare_batched(config: SweepConfig, progress: bool) -> int:
     """``--compare-batched``: run both sweep paths and diff every record.
 
@@ -1072,6 +1168,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _fleet_main(argv[1:])
     if argv and argv[0] == "loadtest":
         return _loadtest_main(argv[1:])
+    if argv and argv[0] == "fsck":
+        return _fsck_main(argv[1:])
     if argv and argv[0] == "lint":
         try:
             return _lint_main(argv[1:])

@@ -37,7 +37,14 @@ from ..formats.bcsd import BCSDMatrix
 from ..formats.bcsr import BCSRMatrix
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
-from ..ioutils import CACHE_DECODE_ERRORS, atomic_write_json, remove_stale_tmp_files
+from ..durability.report import quarantine_artifact, report_write_failure
+from ..ioutils import (
+    CACHE_DECODE_ERRORS,
+    CacheWriteError,
+    read_envelope,
+    remove_stale_tmp_files,
+    write_envelope,
+)
 from ..machine.executor import simulate
 from ..machine.machine import MachineModel
 from ..types import DEFAULT_MAX_BLOCK_ELEMS, Impl, Precision
@@ -399,7 +406,8 @@ class ProfileStore(ProfileCache):
 
     def __init__(self, cache_dir: str | Path) -> None:
         super().__init__()
-        self.root = Path(cache_dir) / "profiles"
+        self.cache_root = Path(cache_dir)
+        self.root = self.cache_root / "profiles"
         remove_stale_tmp_files(self.root)
 
     def path(
@@ -444,28 +452,76 @@ class ProfileStore(ProfileCache):
         key = (id(machine), precision, calibrate_latency)
         if key in self._cache:
             return self._cache[key], "memory"
-        path = self.path(machine, precision, calibrate_latency)
-        if path.exists():
-            try:
-                payload = json.loads(path.read_text())
-                if payload["schema"] != PROFILE_SCHEMA:
-                    raise ValueError("schema mismatch")
-                profile = profile_from_payload(payload["profile"])
-                self._cache[key] = profile
-                return profile, "disk"
-            except CACHE_DECODE_ERRORS as exc:
-                logger.warning(
-                    "discarding corrupt profile cache %s (%s: %s); recalibrating",
-                    path, type(exc).__name__, exc,
-                )
-                path.unlink(missing_ok=True)
+        profile = self.load_cached(
+            machine, precision, calibrate_latency=calibrate_latency
+        )
+        if profile is not None:
+            self._cache[key] = profile
+            return profile, "disk"
         profile = profile_machine(
             machine, precision, calibrate_latency=calibrate_latency
         )
         self._cache[key] = profile
-        atomic_write_json(path, {
-            "schema": PROFILE_SCHEMA,
-            "machine": machine.name,
-            "profile": profile_to_payload(profile),
-        })
+        self.store_profile(
+            machine, precision, profile, calibrate_latency=calibrate_latency
+        )
         return profile, "calibrated"
+
+    def load_cached(
+        self,
+        machine: MachineModel,
+        precision: Precision | str,
+        *,
+        calibrate_latency: bool = False,
+    ) -> BlockProfile | None:
+        """The on-disk profile, or ``None`` (absent, stale, or corrupt —
+        a corrupt file is quarantined for ``repro fsck`` to report)."""
+        precision = Precision.coerce(precision)
+        path = self.path(machine, precision, calibrate_latency)
+        if not path.exists():
+            return None
+        try:
+            payload = read_envelope(path)
+        except CACHE_DECODE_ERRORS as exc:
+            quarantine_artifact(
+                path, self.cache_root, owner="profiles", error=exc
+            )
+            return None
+        try:
+            if payload["schema"] != PROFILE_SCHEMA:
+                raise ValueError("schema mismatch")
+            return profile_from_payload(payload["profile"])
+        except CACHE_DECODE_ERRORS as exc:
+            logger.warning(
+                "discarding stale profile cache %s (%s: %s); recalibrating",
+                path, type(exc).__name__, exc,
+            )
+            path.unlink(missing_ok=True)
+            return None
+
+    def store_profile(
+        self,
+        machine: MachineModel,
+        precision: Precision | str,
+        profile: BlockProfile,
+        *,
+        calibrate_latency: bool = False,
+    ) -> bool:
+        """Persist a calibrated profile; ``False`` when the write failed.
+
+        Calibration is deterministic and repeatable, so a failed write
+        (full disk) costs the *next* process a recalibration — it never
+        crashes this one.
+        """
+        precision = Precision.coerce(precision)
+        path = self.path(machine, precision, calibrate_latency)
+        try:
+            write_envelope(path, {
+                "schema": PROFILE_SCHEMA,
+                "machine": machine.name,
+                "profile": profile_to_payload(profile),
+            }, schema=PROFILE_SCHEMA)
+        except CacheWriteError as exc:
+            report_write_failure(owner="profiles", path=path, error=exc)
+            return False
+        return True

@@ -1,0 +1,48 @@
+"""Crash-consistent cache storage: envelopes, fsck, and torture testing.
+
+Every JSON/JSONL artifact under ``.repro_cache/`` is wrapped in a
+checksummed *envelope* (:mod:`repro.durability.envelope`) so a torn
+write, a flipped bit or a hand-mangled file is always **detected** on
+load — never silently served.  Detection feeds three consumers:
+
+* the cache owners themselves, which quarantine a corrupt file to
+  ``<cache>/quarantine/`` and rebuild or degrade
+  (:mod:`repro.durability.report`);
+* ``repro fsck``, the offline walk/repair/GC tool
+  (:mod:`repro.durability.fsck`);
+* the seeded power-loss torture harness that SIGKILLs writers
+  mid-``fault_point`` and asserts no crash ever yields a corrupt load
+  (:mod:`repro.durability.torture`).
+
+This ``__init__`` deliberately imports only the dependency-free codec:
+:mod:`repro.ioutils` imports :mod:`.envelope` at import time, so pulling
+:mod:`.report`/:mod:`.fsck` (which import ioutils back) in here would
+make the package import order circular.  Import those submodules
+explicitly.
+"""
+
+from __future__ import annotations
+
+from .envelope import (
+    ENVELOPE_MAGIC,
+    ENVELOPE_VERSION,
+    EnvelopeError,
+    EnvelopeMeta,
+    decode_envelope,
+    decode_line,
+    encode_envelope,
+    encode_line,
+    is_enveloped,
+)
+
+__all__ = [
+    "ENVELOPE_MAGIC",
+    "ENVELOPE_VERSION",
+    "EnvelopeError",
+    "EnvelopeMeta",
+    "decode_envelope",
+    "decode_line",
+    "encode_envelope",
+    "encode_line",
+    "is_enveloped",
+]

@@ -1,0 +1,220 @@
+"""The checksummed envelope wrapped around every cache artifact.
+
+Layout (one header line, then the payload JSON verbatim)::
+
+    #%repro-env%1 schema=<int> len=<bytes> crc32=<8 hex> gen=<writer>\\n
+    {"the": "payload", ...}
+
+* ``#%repro-env%1`` — magic plus envelope-format version.  The leading
+  ``#`` guarantees an enveloped file can never parse as plain JSON, so
+  the legacy/enveloped decision is unambiguous in both directions.
+* ``schema`` — the owning store's schema number, surfaced so ``repro
+  fsck`` can report it without knowing every owner's payload shape (the
+  owners keep validating the ``schema`` key *inside* their payloads
+  exactly as before).
+* ``len`` — byte length of the payload, catching truncation even when
+  the lost suffix would not change the CRC of what remains.
+* ``crc32`` — CRC-32 (:func:`zlib.crc32`) over
+  ``"<version>|<schema>|<gen>|" + payload bytes``.  Folding the header
+  fields into the checksum means a flip in *any* byte of the file is
+  detected: magic/len/spacing damage breaks the header parse, crc-field
+  damage breaks hex parsing or the comparison, schema/gen damage changes
+  the checksum input, payload damage changes the checksum itself.
+* ``gen`` — the writer's generation token (``<pid>-<seq>``), identifying
+  which process produced the artifact when debugging a corrupt cache.
+
+Decoding falls back to plain ``json.loads`` when the magic is absent, so
+caches written before this format keep loading (``meta.enveloped`` tells
+the caller which path served it).  Every failure mode raises
+:class:`EnvelopeError`, a :class:`ValueError` subclass — it lands in
+:data:`repro.ioutils.CACHE_DECODE_ERRORS` and flows through the owners'
+existing corrupt-cache recovery unchanged.
+
+JSONL lines use a compact per-line variant, ``%e1%<8 hex>%<json>``, with
+the same legacy fallback and the same always-detected guarantee.
+
+This module is deliberately pure stdlib with no intra-package imports:
+:mod:`repro.ioutils` builds its file primitives on top of it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import zlib
+from dataclasses import dataclass
+
+__all__ = [
+    "ENVELOPE_MAGIC",
+    "ENVELOPE_VERSION",
+    "LINE_MAGIC",
+    "EnvelopeError",
+    "EnvelopeMeta",
+    "encode_envelope",
+    "decode_envelope",
+    "is_enveloped",
+    "encode_line",
+    "decode_line",
+    "is_enveloped_line",
+]
+
+#: Current envelope-format version (the ``1`` in the magic).
+ENVELOPE_VERSION = 1
+
+#: File-envelope magic; a header line starts with this or the file is
+#: treated as legacy plain JSON.
+ENVELOPE_MAGIC = "#%repro-env%"
+
+#: JSONL line-envelope magic.
+LINE_MAGIC = "%e1%"
+
+_HEADER_RE = re.compile(
+    r"\A#%repro-env%(\d+) schema=(\d+) len=(\d+) "
+    r"crc32=([0-9a-f]{8}) gen=([0-9A-Za-z._-]+)\Z"
+)
+
+_LINE_RE = re.compile(r"\A%e1%([0-9a-f]{8})%(.+)\Z", re.DOTALL)
+
+
+class EnvelopeError(ValueError):
+    """An artifact failed integrity verification (torn, flipped, garbage).
+
+    A :class:`ValueError` so it is already a member of
+    :data:`repro.ioutils.CACHE_DECODE_ERRORS`: every pre-envelope
+    corrupt-recovery path catches it without modification.
+    """
+
+
+@dataclass(frozen=True)
+class EnvelopeMeta:
+    """What :func:`decode_envelope` learned about the artifact's wrapper."""
+
+    enveloped: bool
+    version: int | None = None
+    schema: int | None = None
+    gen: str | None = None
+
+
+def _crc(schema: int, gen: str, payload: bytes) -> int:
+    seed = zlib.crc32(f"{ENVELOPE_VERSION}|{schema}|{gen}|".encode("ascii"))
+    return zlib.crc32(payload, seed) & 0xFFFFFFFF
+
+
+def encode_envelope(
+    payload: object, *, schema: int = 1, gen: str = "0-0"
+) -> str:
+    """Serialize ``payload`` to enveloped text (header line + JSON)."""
+    body = json.dumps(payload)
+    body_bytes = body.encode("utf-8")
+    header = (
+        f"{ENVELOPE_MAGIC}{ENVELOPE_VERSION} schema={schema} "
+        f"len={len(body_bytes)} crc32={_crc(schema, gen, body_bytes):08x} "
+        f"gen={gen}"
+    )
+    return header + "\n" + body
+
+
+def is_enveloped(data: bytes | str) -> bool:
+    """Whether ``data`` claims to be enveloped (magic present)."""
+    if isinstance(data, bytes):
+        return data.startswith(ENVELOPE_MAGIC.encode("ascii"))
+    return data.startswith(ENVELOPE_MAGIC)
+
+
+def decode_envelope(data: bytes | str) -> tuple[object, EnvelopeMeta]:
+    """Verify and parse an artifact; returns ``(payload, meta)``.
+
+    Accepts bytes (preferred: length/CRC checks are byte-exact) or
+    already-decoded text.  Legacy plain-JSON artifacts parse with
+    ``meta.enveloped`` False.  Raises :class:`EnvelopeError` on any
+    damage — there is no input for which damage yields a wrong payload.
+    """
+    if isinstance(data, str):
+        raw = data.encode("utf-8", errors="surrogatepass")
+    else:
+        raw = data
+    if not is_enveloped(raw):
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise EnvelopeError(f"artifact is not valid UTF-8: {exc}") from exc
+        try:
+            return json.loads(text), EnvelopeMeta(enveloped=False)
+        except json.JSONDecodeError as exc:
+            raise EnvelopeError(
+                f"legacy artifact is not valid JSON: {exc}"
+            ) from exc
+    header_bytes, sep, body_bytes = raw.partition(b"\n")
+    try:
+        header = header_bytes.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise EnvelopeError(f"envelope header is not ASCII: {exc}") from exc
+    match = _HEADER_RE.match(header)
+    if match is None:
+        raise EnvelopeError(f"malformed envelope header {header[:80]!r}")
+    version, schema, length = (int(match.group(i)) for i in (1, 2, 3))
+    crc_hex, gen = match.group(4), match.group(5)
+    if version != ENVELOPE_VERSION:
+        raise EnvelopeError(
+            f"unsupported envelope version {version} "
+            f"(this build reads version {ENVELOPE_VERSION})"
+        )
+    if not sep:
+        raise EnvelopeError("envelope has a header but no payload")
+    if len(body_bytes) != length:
+        raise EnvelopeError(
+            f"payload is {len(body_bytes)} bytes, header declares {length} "
+            "(truncated or padded artifact)"
+        )
+    if _crc(schema, gen, body_bytes) != int(crc_hex, 16):
+        raise EnvelopeError("payload CRC mismatch (corrupt artifact)")
+    try:
+        body = body_bytes.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise EnvelopeError(f"payload is not valid UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:  # pragma: no cover - CRC-protected
+        raise EnvelopeError(f"enveloped payload is not JSON: {exc}") from exc
+    return payload, EnvelopeMeta(
+        enveloped=True, version=version, schema=schema, gen=gen
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Per-line variant for JSONL logs
+# ---------------------------------------------------------------------- #
+
+def encode_line(json_text: str) -> str:
+    """Wrap one pre-serialized JSON line as ``%e1%<crc32>%<json>``."""
+    crc = zlib.crc32(json_text.encode("utf-8")) & 0xFFFFFFFF
+    return f"{LINE_MAGIC}{crc:08x}%{json_text}"
+
+
+def is_enveloped_line(line: str) -> bool:
+    return line.startswith(LINE_MAGIC)
+
+
+def decode_line(line: str) -> object:
+    """Verify and parse one JSONL line (enveloped or legacy plain JSON).
+
+    Raises :class:`EnvelopeError` on a torn or mangled line; a reader of
+    a log skips such lines, it never trusts them.
+    """
+    if not is_enveloped_line(line):
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise EnvelopeError(
+                f"legacy log line is not valid JSON: {exc}"
+            ) from exc
+    match = _LINE_RE.match(line)
+    if match is None:
+        raise EnvelopeError(f"malformed line envelope {line[:60]!r}")
+    crc_hex, body = match.group(1), match.group(2)
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != int(crc_hex, 16):
+        raise EnvelopeError("log line CRC mismatch (torn or corrupt line)")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as exc:  # pragma: no cover - CRC-protected
+        raise EnvelopeError(f"enveloped log line is not JSON: {exc}") from exc

@@ -1,0 +1,157 @@
+"""Quarantine and event plumbing for detected cache damage.
+
+When a cache owner's verify-on-load fails, the file is **moved** to
+``<cache_root>/quarantine/`` (same filesystem, so the move is atomic)
+with a ``.why.json`` sidecar recording who detected what — the evidence
+survives for ``repro fsck`` and the operator instead of being unlinked.
+
+Detection and write failures are also forwarded to a process-global
+listener (installed by the sweep engine and the advisor service, the two
+components that own an event bus) which re-emits them as the
+``cache_corrupt_detected`` / ``cache_write_failed`` events declared in
+:data:`repro.engine.events.EVENT_SCHEMAS` — so a chaos run's corruption
+history lands in the same JSONL run log as everything else.  The
+last-installed listener wins, mirroring the ``FaultPlan.on_inject``
+convention in :mod:`repro.resilience.faults`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from pathlib import Path
+from typing import Callable
+
+from ..ioutils import write_envelope
+
+__all__ = [
+    "QUARANTINE_DIR",
+    "set_durability_listener",
+    "clear_durability_listener",
+    "report_corruption",
+    "report_write_failure",
+    "quarantine_artifact",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Directory (under the cache root) quarantined artifacts are moved to.
+QUARANTINE_DIR = "quarantine"
+
+_LISTENER: Callable[[dict], None] | None = None
+
+
+def set_durability_listener(callback: Callable[[dict], None]) -> None:
+    """Install the process-wide corruption/write-failure forwarder."""
+    global _LISTENER
+    _LISTENER = callback
+
+
+def clear_durability_listener() -> None:
+    global _LISTENER
+    _LISTENER = None
+
+
+def _forward(info: dict) -> None:
+    listener = _LISTENER
+    if listener is None:
+        return
+    try:
+        listener(info)
+    except Exception:  # pragma: no cover - reporting must never re-raise
+        logger.debug("durability listener failed", exc_info=True)
+
+
+def report_corruption(
+    *, owner: str, path: str | Path, error: Exception, quarantined: bool
+) -> dict:
+    """Log + forward one detected-corruption incident; returns the info."""
+    info = {
+        "kind": "cache_corrupt_detected",
+        "owner": owner,
+        "path": str(path),
+        "error": str(error),
+        "error_type": type(error).__name__,
+        "quarantined": bool(quarantined),
+    }
+    logger.warning(
+        "corrupt %s cache artifact %s (%s: %s)%s",
+        owner, path, info["error_type"], error,
+        "; quarantined" if quarantined else "",
+    )
+    _forward(info)
+    return info
+
+
+def report_write_failure(
+    *, owner: str, path: str | Path, error: Exception
+) -> dict:
+    """Log + forward one failed cache write; returns the info."""
+    info = {
+        "kind": "cache_write_failed",
+        "owner": owner,
+        "path": str(path),
+        "error": str(error),
+        "error_type": type(error).__name__,
+    }
+    logger.warning(
+        "%s cache write to %s failed (%s: %s); degrading to in-memory",
+        owner, path, info["error_type"], error,
+    )
+    _forward(info)
+    return info
+
+
+def quarantine_dir(cache_root: str | Path) -> Path:
+    return Path(cache_root) / QUARANTINE_DIR
+
+
+def quarantine_artifact(
+    path: str | Path,
+    cache_root: str | Path,
+    *,
+    owner: str,
+    error: Exception,
+) -> Path | None:
+    """Move a corrupt artifact into quarantine and report the incident.
+
+    Returns the quarantine destination, or ``None`` when the move itself
+    failed (the artifact is then unlinked as a last resort — a corrupt
+    file must never stay where a loader could find it again).  Name
+    collisions get a ``-<n>`` suffix so repeated corruption of the same
+    artifact keeps every specimen.
+    """
+    path = Path(path)
+    qdir = quarantine_dir(cache_root)
+    dest: Path | None = None
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        candidate = qdir / path.name
+        n = 1
+        while candidate.exists():
+            n += 1
+            candidate = qdir / f"{path.stem}-{n}{path.suffix}"
+        os.replace(path, candidate)
+        dest = candidate
+    except OSError as exc:
+        logger.warning(
+            "could not quarantine %s (%s); unlinking instead", path, exc
+        )
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - racing cleanup
+            pass
+    if dest is not None:
+        try:
+            write_envelope(dest.with_name(dest.name + ".why.json"), {
+                "original_path": str(path),
+                "owner": owner,
+                "error": str(error),
+                "error_type": type(error).__name__,
+            })
+        except Exception:  # pragma: no cover - sidecar is best-effort
+            logger.debug("quarantine sidecar write failed", exc_info=True)
+    report_corruption(
+        owner=owner, path=path, error=error, quarantined=dest is not None
+    )
+    return dest

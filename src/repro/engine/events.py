@@ -41,10 +41,14 @@ fields are declared in :data:`EVENT_SCHEMAS` below and documented in
 ``docs/resilience.md``.  The fleet layer (:mod:`repro.fleet`) adds
 ``worker_spawn`` / ``worker_ready`` / ``worker_restart``,
 ``fleet_drain_begin`` / ``fleet_drain_end`` and ``request_routed``
-(documented in ``docs/serving.md``).  The learning layer
-(:mod:`repro.learn`) adds ``trace_logged``, ``train_begin`` /
-``train_end``, ``model_swap`` and ``drift_alarm`` (documented in
-``docs/learning.md``).
+(documented in ``docs/serving.md``).  The durability layer
+(:mod:`repro.durability`) adds ``cache_corrupt_detected`` — a cache
+artifact failed verify-on-load and was quarantined — and
+``cache_write_failed`` — a cache write hit ``ENOSPC``/``OSError`` and
+the owner degraded to memory (documented in ``docs/durability.md``).
+The learning layer (:mod:`repro.learn`) adds ``trace_logged``,
+``train_begin`` / ``train_end``, ``model_swap`` and ``drift_alarm``
+(documented in ``docs/learning.md``).
 
 The same schema is declared machine-readably in :data:`EVENT_SCHEMAS`,
 which the ``event-schema`` lint rule (:mod:`repro.analysis`) checks every
@@ -115,6 +119,11 @@ EVENT_SCHEMAS: dict[str, frozenset[str]] = {
     "fleet_drain_begin": frozenset({"workers"}),
     "fleet_drain_end": frozenset({"workers", "clean", "elapsed_s"}),
     "request_routed": frozenset({"shard", "worker_id", "attempt"}),
+    # Durability events (repro.durability; see docs/durability.md).
+    "cache_corrupt_detected": frozenset(
+        {"owner", "path", "error", "error_type", "quarantined"}
+    ),
+    "cache_write_failed": frozenset({"owner", "path", "error", "error_type"}),
     # Learning events (repro.learn; see docs/learning.md).
     "trace_logged": frozenset({"fingerprint", "mode", "holdout"}),
     "train_begin": frozenset({"trigger", "records"}),

@@ -36,6 +36,7 @@ from ..bench.harness import (
     SweepResult,
 )
 from ..core.profiling import BlockProfile, ProfileStore
+from ..durability.report import set_durability_listener
 from ..machine.presets import get_preset
 from ..resilience.faults import current_plan, fault_point
 from .events import EventBus, Reporter
@@ -97,6 +98,9 @@ class SweepEngine:
         plan = current_plan()
         if plan is not None:
             plan.on_inject = lambda ev: self.bus.emit("fault_injected", **ev)
+        # Durability wiring (same last-wins convention): corrupt-cache
+        # detections and degraded writes surface on this bus too.
+        set_durability_listener(self._emit_durability)
         # Warm-starting only makes sense for the real task function — the
         # fault-injection stubs the tests substitute never calibrate, and
         # paying ~3 s of calibration up front would only slow them down.
@@ -217,6 +221,26 @@ class SweepEngine:
             self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 2)
         )
 
+    def _emit_durability(self, info: dict) -> None:
+        """Forward durability incidents onto the engine's event bus."""
+        if info.get("kind") == "cache_write_failed":
+            self.bus.emit(
+                "cache_write_failed",
+                owner=info.get("owner"),
+                path=info.get("path"),
+                error=info.get("error"),
+                error_type=info.get("error_type"),
+            )
+        else:
+            self.bus.emit(
+                "cache_corrupt_detected",
+                owner=info.get("owner"),
+                path=info.get("path"),
+                error=info.get("error"),
+                error_type=info.get("error_type"),
+                quarantined=info.get("quarantined"),
+            )
+
     def _record_success(
         self,
         task: ShardTask,
@@ -225,6 +249,8 @@ class SweepEngine:
         attempt: int,
         completed: dict[int, MatrixSweep],
     ) -> None:
+        # A failed save already degraded inside the store (the event is on
+        # this bus); the in-memory result below is what the sweep returns.
         self.store.save(task.shard_id, matrix, elapsed_s=busy)
         self.store.clear_quarantine(task.shard_id)
         completed[task.shard_id] = matrix

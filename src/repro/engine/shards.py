@@ -1,11 +1,13 @@
 """Atomic, fingerprinted per-shard persistence.
 
 Completed shards live under ``<cache_dir>/shards/<config_fingerprint>/`` as
-``shard_NNN.json``, written via tmp-file + ``os.replace`` so a killed sweep
-never leaves a truncated shard behind.  On resume the store is the source
-of truth: any shard that loads cleanly (schema and fingerprint match) is
-served from disk, anything corrupt is discarded with a warning and simply
-recomputed.
+``shard_NNN.json``, written via tmp-file + ``os.replace`` inside a
+checksummed envelope (:func:`repro.ioutils.write_envelope`) so a killed
+sweep never leaves a truncated shard behind — and a damaged one is
+*detected*.  On resume the store is the source of truth: any shard that
+verifies and matches (schema and fingerprint) is served from disk, a
+corrupt one is moved to ``<cache_dir>/quarantine/`` (emitting
+``cache_corrupt_detected``) and simply recomputed.
 
 Shards that failed repeatedly are *quarantined*: a ``shard_NNN.quarantine``
 marker records the final error so an operator can inspect it, while the
@@ -16,7 +18,6 @@ success) — quarantine is a per-run verdict, not a permanent blacklist.
 
 from __future__ import annotations
 
-import json
 import logging
 import shutil
 from dataclasses import asdict
@@ -28,10 +29,13 @@ from ..bench.harness import (
     SweepConfig,
     matrix_sweep_from_payload,
 )
+from ..durability.report import quarantine_artifact, report_write_failure
 from ..ioutils import (
     CACHE_DECODE_ERRORS,
-    atomic_write_json,
+    CacheWriteError,
+    read_envelope,
     remove_stale_tmp_files,
+    write_envelope,
 )
 
 __all__ = ["ShardStore", "SHARD_SCHEMA"]
@@ -52,7 +56,8 @@ class ShardStore:
     ) -> None:
         self.config = config
         self.fingerprint = config.fingerprint()
-        self.root = Path(cache_dir) / "shards" / self.fingerprint
+        self.cache_root = Path(cache_dir)
+        self.root = self.cache_root / "shards" / self.fingerprint
         # A writer killed mid-save leaves a ``*.tmp`` next to its shard;
         # opening the store is the natural point to collect those orphans.
         remove_stale_tmp_files(self.root)
@@ -67,29 +72,52 @@ class ShardStore:
     # ------------------------ completed shards ------------------------ #
     def save(
         self, shard_id: int, matrix: MatrixSweep, *, elapsed_s: float = 0.0
-    ) -> None:
-        atomic_write_json(self.shard_path(shard_id), {
-            "schema": SHARD_SCHEMA,
-            "fingerprint": self.fingerprint,
-            "shard": shard_id,
-            "elapsed_s": elapsed_s,
-            "matrix": asdict(matrix),
-        })
+    ) -> bool:
+        """Persist one completed shard; ``False`` when the write failed.
+
+        A failed write (full disk, lost permissions) degrades rather than
+        crashes the sweep: the in-memory result is still good, the shard
+        is simply recomputed on the next resume.
+        """
+        path = self.shard_path(shard_id)
+        try:
+            write_envelope(path, {
+                "schema": SHARD_SCHEMA,
+                "fingerprint": self.fingerprint,
+                "shard": shard_id,
+                "elapsed_s": elapsed_s,
+                "matrix": asdict(matrix),
+            }, schema=SHARD_SCHEMA)
+        except CacheWriteError as exc:
+            report_write_failure(owner="shards", path=path, error=exc)
+            return False
+        return True
 
     def load(self, shard_id: int) -> MatrixSweep | None:
-        """The shard's matrix sweep, or ``None`` if absent/corrupt/stale."""
+        """The shard's matrix sweep, or ``None`` if absent/corrupt/stale.
+
+        A shard that fails integrity verification is quarantined (the
+        evidence survives for ``repro fsck``); one that verifies but
+        belongs to another schema or fingerprint is simply discarded.
+        """
         path = self.shard_path(shard_id)
         if not path.exists():
             return None
         try:
-            payload = json.loads(path.read_text())
+            payload = read_envelope(path)
+        except CACHE_DECODE_ERRORS as exc:
+            quarantine_artifact(
+                path, self.cache_root, owner="shards", error=exc
+            )
+            return None
+        try:
             if (payload["schema"] != SHARD_SCHEMA
                     or payload["fingerprint"] != self.fingerprint):
                 raise ValueError("schema or fingerprint mismatch")
             return matrix_sweep_from_payload(payload["matrix"])
         except CACHE_DECODE_ERRORS as exc:
             logger.warning(
-                "discarding corrupt shard %s (%s: %s)",
+                "discarding stale shard %s (%s: %s)",
                 path, type(exc).__name__, exc,
             )
             path.unlink(missing_ok=True)
@@ -121,14 +149,20 @@ class ShardStore:
     ) -> None:
         """Record a shard's final failure (exception type + message) so an
         operator can diagnose it from the marker alone."""
-        atomic_write_json(self.quarantine_path(shard_id), {
-            "schema": SHARD_SCHEMA,
-            "fingerprint": self.fingerprint,
-            "shard": shard_id,
-            "error": error,
-            "error_type": error_type,
-            "attempts": attempts,
-        })
+        path = self.quarantine_path(shard_id)
+        try:
+            write_envelope(path, {
+                "schema": SHARD_SCHEMA,
+                "fingerprint": self.fingerprint,
+                "shard": shard_id,
+                "error": error,
+                "error_type": error_type,
+                "attempts": attempts,
+            }, schema=SHARD_SCHEMA)
+        except CacheWriteError as exc:
+            # The marker is diagnostics, not state: the sweep's own
+            # result already reports the shard as missing.
+            report_write_failure(owner="shards", path=path, error=exc)
 
     def quarantined_ids(self) -> list[int]:
         if not self.root.is_dir():

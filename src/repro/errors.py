@@ -12,6 +12,7 @@ __all__ = [
     "MatrixMarketError",
     "DeadlineExceededError",
     "ServiceUnavailableError",
+    "CacheWriteError",
 ]
 
 
@@ -50,3 +51,10 @@ class DeadlineExceededError(ReproError):
 class ServiceUnavailableError(ReproError):
     """The service refused work it cannot currently do reliably
     (circuit breaker open, shutting down); retrying later may succeed."""
+
+
+class CacheWriteError(ReproError):
+    """A cache artifact could not be persisted (``ENOSPC``, permissions,
+    a vanished directory).  Every cache is a rebuildable accelerator, so
+    owners catch this, emit ``cache_write_failed``, and keep serving from
+    memory / recomputing — a full disk must never crash a worker."""

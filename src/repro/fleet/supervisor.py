@@ -8,9 +8,13 @@ balancer routes through the slot, so swapping the process behind a slot
 Guarantees:
 
 * **crash-restart with backoff** — a monitor thread notices a dead worker
-  and respawns it after an exponential backoff (0.5 s doubling, capped at
-  5 s), emitting ``worker_restart``; the slot routes as *down* meanwhile,
-  so the balancer retries its shard on the next worker;
+  and respawns it after a seeded, decorrelated-jitter backoff (growing
+  from 0.5 s, capped at 5 s; see :meth:`FleetSupervisor._next_backoff`),
+  emitting ``worker_restart``; the slot routes as *down* meanwhile, so
+  the balancer retries its shard on the next worker.  Jitter keeps N
+  workers felled by one cause (a shared-dependency hiccup, an OOM sweep)
+  from respawning in lockstep and stampeding the machine; seeding it
+  (``FleetConfig.restart_seed``) keeps chaos drills reproducible;
 * **warm-replica handoff** — :meth:`FleetSupervisor.replace_worker` spawns
   the replacement first, waits for its ``/readyz`` 200, atomically swaps
   it into the slot, and only then SIGTERMs the predecessor (which finishes
@@ -30,6 +34,7 @@ history lands in the same JSONL run logs the sweep engine uses.
 from __future__ import annotations
 
 import logging
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -42,7 +47,7 @@ __all__ = ["FleetConfig", "WorkerSlot", "FleetSupervisor"]
 
 logger = logging.getLogger(__name__)
 
-#: First restart backoff; doubles per consecutive restart of the slot.
+#: Restart backoff floor (also the first attempt's lower bound).
 RESTART_BACKOFF_S = 0.5
 #: Ceiling on the restart backoff.
 MAX_BACKOFF_S = 5.0
@@ -69,6 +74,9 @@ class FleetConfig:
     ready_timeout_s: float = DEFAULT_READY_TIMEOUT_S
     #: Whole-fleet drain budget on shutdown.
     fleet_drain_timeout_s: float = 30.0
+    #: Seed for the per-slot restart-backoff jitter: equal seeds replay
+    #: the exact same backoff sequence (reproducible chaos drills).
+    restart_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -128,6 +136,14 @@ class FleetSupervisor:
         # doubles up on one slot (guarded by _restart_lock).
         self._restart_lock = threading.Lock()
         self._restarting: set[int] = set()
+        # Per-slot seeded RNGs for the backoff jitter: distinct streams
+        # per slot (so co-crashing workers draw *different* delays) that
+        # replay identically for a given FleetConfig.restart_seed.
+        self._backoff_rng = {
+            i: random.Random(f"{config.restart_seed}:{i}")
+            for i in range(config.workers)
+        }
+        self._prev_backoff: dict[int, float] = {}
 
     # ------------------------------ spawn -------------------------------- #
     def _new_worker(self, index: int) -> WorkerProcess:
@@ -225,9 +241,7 @@ class FleetSupervisor:
             restarts = slot.restarts
         rc = dead.poll()
         dead.close()
-        backoff = min(
-            RESTART_BACKOFF_S * (2 ** (restarts - 1)), MAX_BACKOFF_S
-        )
+        backoff = self._next_backoff(slot.index)
         self.bus.emit(
             "worker_restart",
             worker_id=slot.index,
@@ -243,12 +257,33 @@ class FleetSupervisor:
         )
         thread.start()
 
+    def _next_backoff(self, index: int) -> float:
+        """The slot's next restart delay: decorrelated jitter.
+
+        ``min(cap, uniform(base, prev * 3))`` — the delay *distribution*
+        grows with consecutive failures like exponential backoff, but two
+        slots killed by the same cause draw from their own seeded streams
+        and come back spread out instead of in a thundering herd.  A
+        successful spawn resets the slot's growth to the base.
+        """
+        prev = self._prev_backoff.get(index, RESTART_BACKOFF_S)
+        rng = self._backoff_rng[index]
+        backoff = min(
+            MAX_BACKOFF_S,
+            rng.uniform(RESTART_BACKOFF_S, max(prev * 3.0, RESTART_BACKOFF_S)),
+        )
+        self._prev_backoff[index] = backoff
+        return backoff
+
     def _restart_after(self, slot: WorkerSlot, backoff_s: float) -> None:
         try:
             if self._stop.wait(backoff_s):
                 return
             try:
                 self._spawn_into_slot(slot)
+                # The slot recovered: the next (unrelated) crash starts
+                # its jittered backoff from the base again.
+                self._prev_backoff[slot.index] = RESTART_BACKOFF_S
             except Exception as exc:  # noqa: BLE001 - retried by monitor
                 # Leave the slot down; the next monitor pass sees the dead
                 # (or never-mounted) worker and schedules another attempt

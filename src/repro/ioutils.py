@@ -16,6 +16,15 @@ Two failure modes used to leak those tmp files:
 * a hard crash (``kill -9``, OOM) that no in-process cleanup can catch —
   handled by :func:`remove_stale_tmp_files`, which every cache-directory
   owner calls on open to sweep up orphans whose writer is provably gone.
+
+Atomicity alone cannot detect content damage (a corrupting writer, disk
+rot, a hand-edited file), so artifacts additionally carry a checksummed
+envelope: :func:`write_envelope` / :func:`read_envelope` wrap
+:mod:`repro.durability.envelope` around the same atomic-write machinery,
+and :func:`append_envelope_lines` / :func:`read_envelope_lines` do the
+per-line equivalent for JSONL logs.  Write failures (``ENOSPC`` and
+friends) surface as the typed :class:`~repro.errors.CacheWriteError`, so
+cache owners degrade to serving from memory instead of crashing.
 """
 
 from __future__ import annotations
@@ -27,14 +36,29 @@ import os
 import time
 from pathlib import Path
 
+from .durability.envelope import (
+    EnvelopeError,
+    decode_envelope,
+    decode_line,
+    encode_envelope,
+    encode_line,
+)
+from .errors import CacheWriteError
 from .resilience.faults import fault_point
 
 __all__ = [
     "CACHE_DECODE_ERRORS",
+    "CacheWriteError",
+    "EnvelopeError",
     "atomic_write_json",
+    "atomic_write_text",
+    "write_envelope",
+    "read_envelope",
+    "read_envelope_lines",
     "append_jsonl",
     "append_jsonl_lines",
     "append_jsonl_many",
+    "append_envelope_lines",
     "remove_stale_tmp_files",
 ]
 
@@ -63,21 +87,101 @@ def atomic_write_json(path: str | Path, payload: object) -> None:
     a hard crash still leaves behind are swept by
     :func:`remove_stale_tmp_files` on the next cache-dir open.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + f".{os.getpid()}-{next(_TMP_SEQ)}.tmp")
+    _atomic_write_text(Path(path), json.dumps(payload))
+
+
+def write_envelope(
+    path: str | Path, payload: object, *, schema: int = 1
+) -> None:
+    """Write ``payload`` atomically inside a checksummed envelope.
+
+    The durable counterpart of :func:`atomic_write_json`: same tmp-file +
+    ``os.replace`` discipline, but the artifact carries the magic / CRC32
+    header of :mod:`repro.durability.envelope`, so :func:`read_envelope`
+    *detects* any torn or mangled content instead of trusting it.
+    ``schema`` is the owning store's schema number (surfaced to ``repro
+    fsck``); the writer generation token is stamped automatically.
+    """
+    gen = f"{os.getpid()}-{next(_TMP_SEQ)}"
+    _atomic_write_text(
+        Path(path), encode_envelope(payload, schema=schema, gen=gen)
+    )
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write raw ``text`` atomically (tmp + rename, same as the JSON
+    variants).  For callers that build their own line format — e.g.
+    ``repro fsck`` rewriting a JSONL segment minus its torn lines."""
+    _atomic_write_text(Path(path), text)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            path.name + f".{os.getpid()}-{next(_TMP_SEQ)}.tmp"
+        )
+    except OSError as exc:
+        raise CacheWriteError(
+            f"cannot prepare cache write to {path}: {exc}"
+        ) from exc
     try:
         # Chaos hooks (no-ops unless a FaultPlan is installed): the first
         # can corrupt the serialized text, the second models a crash in
         # the window between the tmp write and the rename.
         tmp.write_text(
-            fault_point("ioutils.atomic_write_json.data", json.dumps(payload))
+            fault_point("ioutils.atomic_write_json.data", text)
         )
         fault_point("ioutils.atomic_write_json.replace")
         os.replace(tmp, path)
-    except BaseException:
+    except BaseException as exc:
         tmp.unlink(missing_ok=True)
+        if isinstance(exc, OSError):
+            # ENOSPC, EACCES, a vanished directory: a typed, catchable
+            # signal so cache owners degrade instead of crashing.
+            raise CacheWriteError(
+                f"cache write to {path} failed: {exc}"
+            ) from exc
         raise
+
+
+def read_envelope(path: str | Path, *, fault_site: str | None = None):
+    """Verify and parse one artifact written by :func:`write_envelope`.
+
+    Legacy plain-JSON artifacts (pre-envelope caches) parse through the
+    fallback in :func:`~repro.durability.envelope.decode_envelope`.
+    Raises :class:`~repro.durability.envelope.EnvelopeError` (a member of
+    :data:`CACHE_DECODE_ERRORS`) on any corruption, and ``OSError`` if
+    the file cannot be read at all.  ``fault_site`` optionally threads
+    the raw bytes through a chaos :func:`fault_point` before decoding.
+    """
+    data = Path(path).read_bytes()
+    if fault_site is not None:
+        data = fault_point(fault_site, data)
+    payload, _ = decode_envelope(data)
+    return payload
+
+
+def read_envelope_lines(path: str | Path):
+    """Yield ``(lineno, record, error)`` per non-blank JSONL line.
+
+    Exactly one of ``record`` / ``error`` is ``None``: a line that fails
+    integrity verification yields its :class:`EnvelopeError` instead of a
+    record, and the caller decides whether to skip (a log reader) or
+    repair (``repro fsck``).  Legacy plain-JSON lines parse through the
+    per-line fallback.  ``OSError`` on the file itself propagates.
+    """
+    # Tolerant decode: undecodable bytes become replacement characters,
+    # which then fail that line's CRC/JSON check — a mangled line must
+    # surface as a per-line error, not kill the whole read.
+    text = Path(path).read_bytes().decode("utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            yield lineno, decode_line(line), None
+        except EnvelopeError as exc:
+            yield lineno, None, exc
 
 
 def append_jsonl(path: str | Path, record: dict) -> int:
@@ -114,14 +218,33 @@ def append_jsonl_lines(path: str | Path, lines) -> int:
     pass.  Returns bytes written.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     text = "".join(line + "\n" for line in lines)
     if not text:
         return 0
-    with path.open("a", encoding="utf-8") as fh:
-        fh.write(text)
-        fh.flush()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Chaos hook: corrupt the batch about to be appended, or model a
+        # crash (kill) in the append window itself.
+        text = fault_point("ioutils.append_jsonl.write", text)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+    except OSError as exc:
+        raise CacheWriteError(
+            f"log append to {path} failed: {exc}"
+        ) from exc
     return len(text.encode("utf-8"))
+
+
+def append_envelope_lines(path: str | Path, json_lines) -> int:
+    """Append pre-serialized JSON lines, each wrapped in a line envelope.
+
+    The JSONL counterpart of :func:`write_envelope`:
+    :func:`read_envelope_lines` verifies each line's CRC on the way back,
+    so a torn append or a flipped byte is detected and skipped rather
+    than parsed into a wrong record.  Returns bytes written.
+    """
+    return append_jsonl_lines(path, [encode_line(line) for line in json_lines])
 
 
 def _writer_pid(name: str) -> int | None:

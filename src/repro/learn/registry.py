@@ -30,10 +30,13 @@ from hashlib import sha256
 from pathlib import Path
 
 from ..core.learned import DecisionTree
+from ..durability.report import quarantine_artifact, report_write_failure
 from ..ioutils import (
     CACHE_DECODE_ERRORS,
-    atomic_write_json,
+    CacheWriteError,
+    read_envelope,
     remove_stale_tmp_files,
+    write_envelope,
 )
 
 __all__ = [
@@ -59,7 +62,8 @@ class ModelRegistry:
     """Read/write access to the versioned model store for one cache dir."""
 
     def __init__(self, cache_dir: str | Path) -> None:
-        self.root = Path(cache_dir) / "learn" / "models"
+        self.cache_root = Path(cache_dir)
+        self.root = self.cache_root / "learn" / "models"
         remove_stale_tmp_files(self.root)
         self._lock = threading.Lock()
         self._tree: DecisionTree | None = None
@@ -72,6 +76,9 @@ class ModelRegistry:
 
         Returns the content-token version.  Publishing the same payload
         twice is idempotent (same version, pointer rewritten atomically).
+        Raises :class:`~repro.errors.CacheWriteError` when the disk
+        refuses either file — the trainer treats that as "not published"
+        and the old model keeps serving.
         """
         version = model_token(tree_payload)
         artifact = {
@@ -82,10 +89,20 @@ class ModelRegistry:
         }
         # Artifact first, pointer second: a crash between the two leaves a
         # valid (if unreferenced) artifact, never a dangling pointer.
-        atomic_write_json(self.artifact_path(version), artifact)
-        atomic_write_json(
-            self.pointer_path(), {"schema": MODEL_SCHEMA, "version": version}
-        )
+        try:
+            write_envelope(
+                self.artifact_path(version), artifact, schema=MODEL_SCHEMA
+            )
+            write_envelope(
+                self.pointer_path(),
+                {"schema": MODEL_SCHEMA, "version": version},
+                schema=MODEL_SCHEMA,
+            )
+        except CacheWriteError as exc:
+            report_write_failure(
+                owner="models", path=self.pointer_path(), error=exc
+            )
+            raise
         return version
 
     def artifact_path(self, version: str) -> Path:
@@ -149,16 +166,26 @@ class ModelRegistry:
     # ----------------------------- loading ----------------------------- #
     def _read_pointer(self, pointer: Path) -> str | None:
         try:
-            meta = json.loads(pointer.read_text(encoding="utf-8"))
+            meta = read_envelope(pointer)
+        except OSError:
+            return None  # pruned/racing publisher; the stat said it existed
+        except CACHE_DECODE_ERRORS as exc:
+            # A corrupt pointer is quarantined: the next publish rewrites
+            # it, and until then the old in-memory model keeps serving.
+            quarantine_artifact(
+                pointer, self.cache_root, owner="models", error=exc
+            )
+            return None
+        try:
             if meta["schema"] != MODEL_SCHEMA:
                 raise ValueError(f"pointer schema {meta['schema']!r}")
             version = meta["version"]
             if not isinstance(version, str) or not version:
                 raise ValueError(f"bad version {version!r}")
             return version
-        except (OSError, *CACHE_DECODE_ERRORS) as exc:
+        except CACHE_DECODE_ERRORS as exc:
             logger.warning(
-                "ignoring corrupt model pointer %s (%s: %s)",
+                "ignoring stale model pointer %s (%s: %s)",
                 pointer, type(exc).__name__, exc,
             )
             return None
@@ -166,7 +193,15 @@ class ModelRegistry:
     def _load_artifact(self, version: str) -> DecisionTree | None:
         path = self.artifact_path(version)
         try:
-            artifact = json.loads(path.read_text(encoding="utf-8"))
+            artifact = read_envelope(path)
+        except OSError:
+            return None  # dangling pointer: artifact pruned or never landed
+        except CACHE_DECODE_ERRORS as exc:
+            quarantine_artifact(
+                path, self.cache_root, owner="models", error=exc
+            )
+            return None
+        try:
             if artifact["schema"] != MODEL_SCHEMA:
                 raise ValueError(f"artifact schema {artifact['schema']!r}")
             if artifact["version"] != version:
@@ -174,9 +209,9 @@ class ModelRegistry:
                     f"artifact claims version {artifact['version']!r}"
                 )
             return DecisionTree.from_payload(artifact["tree"])
-        except (OSError, *CACHE_DECODE_ERRORS) as exc:
+        except CACHE_DECODE_ERRORS as exc:
             logger.warning(
-                "ignoring corrupt model artifact %s (%s: %s)",
+                "ignoring stale model artifact %s (%s: %s)",
                 path, type(exc).__name__, exc,
             )
             return None

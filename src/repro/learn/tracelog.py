@@ -39,7 +39,14 @@ import time
 from pathlib import Path
 from typing import Iterator
 
-from ..ioutils import append_jsonl_lines, remove_stale_tmp_files
+from ..durability.envelope import encode_line
+from ..durability.report import report_corruption, report_write_failure
+from ..ioutils import (
+    CacheWriteError,
+    append_jsonl_lines,
+    read_envelope_lines,
+    remove_stale_tmp_files,
+)
 
 __all__ = [
     "TRACE_SCHEMA",
@@ -172,18 +179,20 @@ class TraceLog:
         for record in buffer:
             if active_size >= self.max_segment_bytes:
                 if batch:
-                    append_jsonl_lines(active, batch)
+                    self._write_batch(active, batch)
                     batch = []
                 active = self._segment_path(self._segment_index(active) + 1)
                 active_size = 0
-            # Serialize once: the same line feeds the size accounting and
-            # the write, so rollover points stay independent of batch
-            # boundaries and the flush never double-dumps a record.
-            line = json.dumps(record, sort_keys=True)
+            # Serialize once: the same enveloped line feeds the size
+            # accounting and the write, so rollover points stay
+            # independent of batch boundaries and the flush never
+            # double-dumps a record.  The CRC wrapper lets readers
+            # *detect* a torn append instead of trusting whatever parses.
+            line = encode_line(json.dumps(record, sort_keys=True))
             batch.append(line)
             active_size += len(line.encode("utf-8")) + 1
         if batch:
-            append_jsonl_lines(active, batch)
+            self._write_batch(active, batch)
         # Bound the directory: drop the oldest segments past the cap.
         for stale in self.segments()[: -self.max_segments]:
             try:
@@ -191,6 +200,15 @@ class TraceLog:
             except OSError:  # pragma: no cover - racing cleanup
                 continue
         return active, active_size
+
+    @staticmethod
+    def _write_batch(active: Path, batch: list[str]) -> None:
+        """One append; a failed write drops the batch (this is a log —
+        losing a training tail beats crashing the serving hot path)."""
+        try:
+            append_jsonl_lines(active, batch)
+        except CacheWriteError as exc:
+            report_write_failure(owner="learn-trace", path=active, error=exc)
 
     @property
     def records_logged(self) -> int:
@@ -209,17 +227,16 @@ class TraceLog:
         self.flush()
         for segment in self.segments():
             try:
-                text = segment.read_text(encoding="utf-8")
+                lines = list(read_envelope_lines(segment))
             except OSError:
                 continue  # pruned underneath us
-            for lineno, line in enumerate(text.splitlines(), start=1):
-                if not line.strip():
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    logger.warning(
-                        "skipping corrupt trace line %s:%d", segment, lineno
+            for lineno, record, error in lines:
+                if error is not None:
+                    report_corruption(
+                        owner="learn-trace",
+                        path=f"{segment}:{lineno}",
+                        error=error,
+                        quarantined=False,
                     )
                     continue
                 if (

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..core.learned import DecisionTree
 from ..engine.events import EventBus
-from ..errors import ModelError
+from ..errors import CacheWriteError, ModelError
 from .registry import ModelRegistry
 from .tracelog import TraceLog
 
@@ -124,6 +124,13 @@ def train_once(
         # A degenerate trace (e.g. every label identical after filtering
         # corrupt rows) must not kill the trainer thread.
         logger.warning("training failed (%s: %s)", type(exc).__name__, exc)
+    except CacheWriteError as exc:
+        # The fit succeeded but the disk refused the artifact: report
+        # "not published" and keep serving the old model — the next
+        # trigger retries the publish with a fresh fit.
+        version = None
+        published = False
+        logger.warning("model publish failed (%s)", exc)
     elapsed = time.perf_counter() - t0
     if bus is not None:
         bus.emit(

@@ -8,7 +8,7 @@ rename window, the advisor cache, the cold advise evaluation, the sweep
 worker, the HTTP handler — and with no plan installed each call is a
 single module-global ``None`` check, nothing more.
 
-Three actions exist:
+Four actions exist:
 
 ``raise``
     Raise an exception of a configurable class (default
@@ -19,6 +19,12 @@ Three actions exist:
 ``corrupt``
     Deterministically mangle the data passing through the site (the
     JSON text of a cache write, the text of a cache read).
+``kill``
+    ``SIGKILL`` the calling process at the site — a real power-loss /
+    OOM-killer crash that no ``except`` or ``finally`` can soften.  The
+    durability torture harness (:mod:`repro.durability.torture`) runs
+    cache writes in forked children under ``kill`` rules and asserts the
+    survivors never load corrupt data.
 
 Every site name must be registered in :data:`SITE_CATALOG`; an unknown
 site in a plan is a :class:`ValueError` at plan-build time, and the
@@ -45,6 +51,7 @@ import json
 import logging
 import os
 import random
+import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -83,6 +90,10 @@ SITE_CATALOG: dict[str, str] = {
         "the window between writing the tmp file and os.replace — a "
         "raise here is a mid-write crash"
     ),
+    "ioutils.append_jsonl.write": (
+        "the JSONL append about to hit the log (text passes through, "
+        "corruptible; a kill here is a torn append)"
+    ),
     "serve.store.save": "saving one advisor cache entry",
     "serve.store.load": (
         "reading one advisor cache entry (text passes through, "
@@ -97,7 +108,7 @@ SITE_CATALOG: dict[str, str] = {
     "serve.server.request": "HTTP POST handling, after admission",
 }
 
-ACTIONS = ("raise", "delay", "corrupt")
+ACTIONS = ("raise", "delay", "corrupt", "kill")
 
 _ERROR_CLASSES: dict[str, type[Exception]] = {
     "OSError": OSError,
@@ -259,6 +270,12 @@ class FaultPlan:
                 time.sleep(rule.delay_s)
             elif rule.action == "corrupt":
                 data = _corrupt(data)
+            elif rule.action == "kill":
+                # A hard crash at the site: SIGKILL cannot be caught, so
+                # everything after this point — the rename, the cleanup,
+                # the bookkeeping — simply never happens, exactly like a
+                # power loss.
+                os.kill(os.getpid(), signal.SIGKILL)
             elif rule.action == "raise":
                 raise rule.exception()
         return data

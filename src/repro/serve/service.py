@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 from ..core.candidates import FIXED_BLOCK_KINDS, Candidate, candidate_space
 from ..core.profiling import ProfileCache, ProfileStore
 from ..core.selection import evaluate_candidates
+from ..durability.report import set_durability_listener
 from ..engine.events import EventBus
 from ..errors import ModelError, ReproError, ServiceUnavailableError
 from ..formats.coo import COOMatrix
@@ -335,6 +336,10 @@ class AdvisorService:
         self.bus = EventBus(reporters)
         self._event_counter = _EventCounter()
         self.bus.subscribe(self._event_counter)
+        # Durability wiring (last-wins, like FaultPlan.on_inject): cache
+        # corruption detections and degraded writes from any owner in
+        # this process land on the service bus and therefore in /stats.
+        set_durability_listener(self._emit_durability)
         # Online learning (docs/learning.md): needs the persistent cache
         # dir for the trace log and model registry.
         self.learn = None
@@ -617,6 +622,9 @@ class AdvisorService:
             # fault) must not fail a request whose answer is already
             # computed — the atomic writer guarantees no partial entry is
             # left behind, and the next request simply recomputes.
+            # (CacheWriteError never reaches here: the store maps it to a
+            # cache_write_failed event itself; this catch is for injected
+            # faults and anything else unexpected.)
             try:
                 self.store.save(
                     key, rec.to_payload(), fingerprint=fingerprint, token=token
@@ -627,6 +635,26 @@ class AdvisorService:
                     type(exc).__name__, exc,
                 )
         return rec
+
+    def _emit_durability(self, info: dict) -> None:
+        """Forward durability incidents onto the service's event bus."""
+        if info.get("kind") == "cache_write_failed":
+            self.bus.emit(
+                "cache_write_failed",
+                owner=info.get("owner"),
+                path=info.get("path"),
+                error=info.get("error"),
+                error_type=info.get("error_type"),
+            )
+        else:
+            self.bus.emit(
+                "cache_corrupt_detected",
+                owner=info.get("owner"),
+                path=info.get("path"),
+                error=info.get("error"),
+                error_type=info.get("error_type"),
+                quarantined=info.get("quarantined"),
+            )
 
     # --------------------------- batch advise --------------------------- #
     def advise_many(

@@ -26,10 +26,13 @@ from pathlib import Path
 
 from ..bench.harness import DEFAULT_CACHE_DIR
 from ..core.profiling import BlockProfile
+from ..durability.report import quarantine_artifact, report_write_failure
 from ..ioutils import (
     CACHE_DECODE_ERRORS,
-    atomic_write_json,
+    CacheWriteError,
+    read_envelope,
     remove_stale_tmp_files,
+    write_envelope,
 )
 from ..resilience.faults import fault_point
 
@@ -61,7 +64,8 @@ class AdvisorStore:
     """Directory of cached recommendations, one JSON file per key."""
 
     def __init__(self, cache_dir: str | Path = DEFAULT_CACHE_DIR) -> None:
-        self.root = Path(cache_dir) / "advisor"
+        self.cache_root = Path(cache_dir)
+        self.root = self.cache_root / "advisor"
         # Collect tmp files orphaned by writers killed mid-save.
         remove_stale_tmp_files(self.root)
 
@@ -82,22 +86,44 @@ class AdvisorStore:
         *,
         fingerprint: str,
         token: str,
-    ) -> None:
+    ) -> bool:
+        """Persist one recommendation; ``False`` when the write failed.
+
+        A full disk degrades to serving uncached (the caller already
+        treats the save as best-effort) instead of crashing a worker.
+        """
         fault_point("serve.store.save")
-        atomic_write_json(self.path(key), {
-            "schema": ADVISOR_SCHEMA,
-            "fingerprint": fingerprint,
-            "profile_token": token,
-            "recommendation": payload,
-        })
+        path = self.path(key)
+        try:
+            write_envelope(path, {
+                "schema": ADVISOR_SCHEMA,
+                "fingerprint": fingerprint,
+                "profile_token": token,
+                "recommendation": payload,
+            }, schema=ADVISOR_SCHEMA)
+        except CacheWriteError as exc:
+            report_write_failure(owner="advisor", path=path, error=exc)
+            return False
+        return True
 
     def load(self, key: str, *, token: str) -> dict | None:
-        """The cached recommendation payload, or ``None`` if absent/stale."""
+        """The cached recommendation payload, or ``None`` if absent/stale.
+
+        An entry that fails integrity verification is quarantined; one
+        that verifies but carries another schema or profile token is
+        stale and simply discarded — both recompute on the next advise.
+        """
         path = self.path(key)
         if not path.exists():
             return None
         try:
-            entry = json.loads(fault_point("serve.store.load", path.read_text()))
+            entry = read_envelope(path, fault_site="serve.store.load")
+        except CACHE_DECODE_ERRORS as exc:
+            quarantine_artifact(
+                path, self.cache_root, owner="advisor", error=exc
+            )
+            return None
+        try:
             if entry["schema"] != ADVISOR_SCHEMA:
                 raise ValueError("schema mismatch")
             if entry["profile_token"] != token:
@@ -105,7 +131,7 @@ class AdvisorStore:
             return entry["recommendation"]
         except CACHE_DECODE_ERRORS as exc:
             logger.warning(
-                "discarding advisor cache entry %s (%s: %s)",
+                "discarding stale advisor cache entry %s (%s: %s)",
                 path, type(exc).__name__, exc,
             )
             path.unlink(missing_ok=True)

@@ -17,6 +17,7 @@ from repro.analysis import (
     RULE_REGISTRY,
     AtomicWriteRule,
     DeterminismRule,
+    EnvelopeIoRule,
     EventSchemaRule,
     FaultSiteRule,
     FloatEqualityRule,
@@ -187,6 +188,60 @@ class TestAtomicWriteRule:
         findings, _ = lint_source(tmp_path, """\
             def save(path, payload):
                 path.write_text(payload)
+            """, [rule])
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# envelope-io
+# --------------------------------------------------------------------------- #
+
+
+class TestEnvelopeIoRule:
+    def rule(self):
+        return EnvelopeIoRule({"paths": []})
+
+    def test_raw_json_loads_and_read_text_fire(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import json
+
+            def load(path):
+                return json.loads(path.read_text())
+            """, [self.rule()])
+        assert rule_ids(findings) == ["envelope-io", "envelope-io"]
+
+    def test_json_load_and_read_bytes_fire(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import json
+
+            def load(path, fh):
+                data = path.read_bytes()
+                return json.load(fh)
+            """, [self.rule()])
+        assert rule_ids(findings) == ["envelope-io", "envelope-io"]
+
+    def test_envelope_reads_and_dumps_are_fine(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """\
+            import json
+
+            from repro.ioutils import read_envelope, write_envelope
+
+            def save(path, payload):
+                write_envelope(path, payload, schema=1)
+                return json.dumps(payload, sort_keys=True)
+
+            def load(path):
+                return read_envelope(path)
+            """, [self.rule()])
+        assert findings == []
+
+    def test_scoping_skips_non_owner_modules(self, tmp_path):
+        rule = EnvelopeIoRule({"paths": ["src/repro/engine/shards.py"]})
+        findings, _ = lint_source(tmp_path, """\
+            import json
+
+            def load(path):
+                return json.loads(path.read_text())
             """, [rule])
         assert findings == []
 

@@ -158,7 +158,9 @@ class TestFaultInjection:
         )
         store = ShardStore(tmp_path, STUB_CONFIG)
         assert store.quarantined_ids() == [27]
-        marker = json.loads(store.quarantine_path(27).read_text())
+        from repro.ioutils import read_envelope
+
+        marker = read_envelope(store.quarantine_path(27))
         assert marker["error_type"] == "RuntimeError"
         assert marker["error"] == "permanent"
 

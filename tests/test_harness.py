@@ -153,8 +153,12 @@ class TestSweepResultPersistence:
         result = _stub_result(SweepConfig())
         path = tmp_path / "sweep.json"
         result.save(path)
-        payload = json.loads(path.read_text())
+        from repro.ioutils import read_envelope
+
+        payload = read_envelope(path)
         del payload["missing"]
+        # Rewritten as legacy plain JSON on purpose: pre-envelope caches
+        # must keep loading through the read-through fallback.
         atomic_write_json(path, payload)
         assert SweepResult.load(path).missing == []
 

@@ -1,7 +1,6 @@
 """Tests for the fingerprint-keyed recommendation store."""
 
-import json
-
+from repro.ioutils import read_envelope, write_envelope
 from repro.serve.store import ADVISOR_SCHEMA, AdvisorStore, profile_token
 
 
@@ -50,9 +49,9 @@ class TestStore:
         store = AdvisorStore(tmp_path)
         key = AdvisorStore.key("fp", "opts", "tok")
         store.save(key, _payload(), fingerprint="fp", token="tok")
-        entry = json.loads(store.path(key).read_text())
+        entry = read_envelope(store.path(key))
         entry["schema"] = ADVISOR_SCHEMA + 1
-        store.path(key).write_text(json.dumps(entry))
+        write_envelope(store.path(key), entry, schema=ADVISOR_SCHEMA + 1)
         assert store.load(key, token="tok") is None
 
     def test_key_depends_on_all_parts(self):
